@@ -1,0 +1,211 @@
+//! Mutable battery state: charge level, cycle wear and replacements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use junkyard_carbon::units::{GramsCo2e, Joules, TimeSpan, Watts};
+use junkyard_devices::battery::BatterySpec;
+
+/// The live state of one battery pack installed in a repurposed device.
+///
+/// Tracks the charge level, the cumulative *equivalent full cycles* the pack
+/// has endured (Section 4.3 assumes a pack dies after ~2,500 of them) and how
+/// many replacement packs have been fitted so far.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryState {
+    spec: BatterySpec,
+    charge: Joules,
+    equivalent_cycles: f64,
+    replacements: u32,
+}
+
+impl BatteryState {
+    /// Creates a fully charged battery of the given specification.
+    #[must_use]
+    pub fn new_full(spec: BatterySpec) -> Self {
+        Self {
+            spec,
+            charge: spec.energy(),
+            equivalent_cycles: 0.0,
+            replacements: 0,
+        }
+    }
+
+    /// Creates a battery at the given state of charge (0–1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` lies outside `[0, 1]`.
+    #[must_use]
+    pub fn new_at(spec: BatterySpec, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "state of charge must be in [0, 1]");
+        Self {
+            spec,
+            charge: spec.energy() * fraction,
+            equivalent_cycles: 0.0,
+            replacements: 0,
+        }
+    }
+
+    /// The pack specification.
+    #[must_use]
+    pub fn spec(&self) -> BatterySpec {
+        self.spec
+    }
+
+    /// Current stored energy.
+    #[must_use]
+    pub fn charge(&self) -> Joules {
+        self.charge
+    }
+
+    /// Current state of charge as a fraction of capacity (0–1).
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.charge.value() / self.spec.energy().value()
+    }
+
+    /// Cumulative equivalent full cycles of the *current* pack.
+    #[must_use]
+    pub fn equivalent_cycles(&self) -> f64 {
+        self.equivalent_cycles
+    }
+
+    /// Number of replacement packs fitted so far.
+    #[must_use]
+    pub fn replacements(&self) -> u32 {
+        self.replacements
+    }
+
+    /// Embodied carbon of the replacement packs fitted so far (the original
+    /// pack came with the reused device and is free).
+    #[must_use]
+    pub fn replacement_carbon(&self) -> GramsCo2e {
+        self.spec.embodied() * f64::from(self.replacements)
+    }
+
+    /// `true` when the current pack has exceeded its cycle life and should
+    /// be replaced.
+    #[must_use]
+    pub fn is_worn_out(&self) -> bool {
+        self.equivalent_cycles >= f64::from(self.spec.cycle_life())
+    }
+
+    /// Fits a new pack: restores full charge, resets wear and counts the
+    /// replacement.
+    pub fn replace(&mut self) {
+        self.charge = self.spec.energy();
+        self.equivalent_cycles = 0.0;
+        self.replacements += 1;
+    }
+
+    /// Drains the battery by the device's consumption over `dt`.
+    /// Returns the energy that could *not* be supplied (shortfall) if the
+    /// pack emptied during the interval.
+    #[must_use]
+    pub fn discharge(&mut self, power: Watts, dt: TimeSpan) -> Joules {
+        let wanted = power * dt;
+        let supplied = wanted.min(self.charge);
+        self.charge = (self.charge - supplied).max(Joules::ZERO);
+        self.equivalent_cycles += supplied.value() / self.spec.energy().value();
+        wanted - supplied
+    }
+
+    /// Charges the battery from the wall for `dt` at up to the pack's
+    /// maximum charging power. Returns the energy actually drawn from the
+    /// wall for charging (zero once full).
+    #[must_use]
+    pub fn charge_from_wall(&mut self, dt: TimeSpan) -> Joules {
+        let headroom = self.spec.energy() - self.charge;
+        let offered = self.spec.max_charge_power() * dt;
+        let accepted = offered.min(headroom).max(Joules::ZERO);
+        self.charge = self.charge + accepted;
+        accepted
+    }
+}
+
+impl fmt::Display for BatteryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}% charged, {:.1} cycles, {} replacements",
+            self.state_of_charge() * 100.0,
+            self.equivalent_cycles,
+            self.replacements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pixel() -> BatteryState {
+        BatteryState::new_full(BatterySpec::pixel_3a())
+    }
+
+    #[test]
+    fn full_battery_starts_at_100_percent() {
+        let b = pixel();
+        assert!((b.state_of_charge() - 1.0).abs() < 1e-12);
+        assert_eq!(b.replacements(), 0);
+        assert!(!b.is_worn_out());
+    }
+
+    #[test]
+    fn discharge_tracks_cycles() {
+        let mut b = pixel();
+        // Drain half the pack.
+        let half = b.spec().energy().value() / 2.0;
+        let shortfall = b.discharge(Watts::new(half), TimeSpan::from_secs(1.0));
+        assert_eq!(shortfall, Joules::ZERO);
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-9);
+        assert!((b.equivalent_cycles() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharge_reports_shortfall_when_empty() {
+        let mut b = BatteryState::new_at(BatterySpec::pixel_3a(), 0.01);
+        let shortfall = b.discharge(Watts::new(100.0), TimeSpan::from_hours(1.0));
+        assert!(shortfall.value() > 0.0);
+        assert_eq!(b.charge(), Joules::ZERO);
+    }
+
+    #[test]
+    fn charging_stops_at_full() {
+        let mut b = BatteryState::new_at(BatterySpec::pixel_3a(), 0.9);
+        let drawn = b.charge_from_wall(TimeSpan::from_hours(2.0));
+        assert!((b.state_of_charge() - 1.0).abs() < 1e-9);
+        // Only the missing 10% was drawn, not two full hours at 18 W.
+        assert!(drawn.value() < Watts::new(18.0).value() * 7200.0);
+        let more = b.charge_from_wall(TimeSpan::from_minutes(5.0));
+        assert_eq!(more, Joules::ZERO);
+    }
+
+    #[test]
+    fn wear_out_and_replace() {
+        let mut b = pixel();
+        // Simulate 2,500 full cycles of wear.
+        for _ in 0..2_500 {
+            let _ = b.discharge(Watts::new(b.spec().energy().value()), TimeSpan::from_secs(1.0));
+            let _ = b.charge_from_wall(TimeSpan::from_hours(1.0));
+        }
+        assert!(b.is_worn_out());
+        b.replace();
+        assert!(!b.is_worn_out());
+        assert_eq!(b.replacements(), 1);
+        assert!((b.replacement_carbon().kilograms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "state of charge")]
+    fn invalid_state_of_charge_panics() {
+        let _ = BatteryState::new_at(BatterySpec::pixel_3a(), 1.5);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        assert!(pixel().to_string().contains('%'));
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks: one benchmark per paper table/figure, timing the
+//! computation that regenerates it (at reduced scale for the
+//! simulation-backed figures so `cargo bench` stays tractable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use junkyard_carbon::units::TimeSpan;
+use junkyard_core::charging_study::ChargingStudy;
+use junkyard_core::cloudlet_study::{figure8_utilization, figure9_chart, CloudletWorkload, Figure7Study};
+use junkyard_core::cluster_cci::ClusterCciStudy;
+use junkyard_core::cost_study::cost_table;
+use junkyard_core::datacenter_study::DatacenterStudy;
+use junkyard_core::energy_mix::energy_mix_chart;
+use junkyard_core::single_device::SingleDeviceStudy;
+use junkyard_core::tables;
+use junkyard_core::thermal_study::run_thermal_study;
+use junkyard_devices::benchmark::Benchmark;
+use junkyard_grid::regime::PowerRegime;
+
+fn analytic_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    group.sample_size(20);
+    group.bench_function("fig1_capability_trends", |b| {
+        b.iter(|| black_box(tables::figure1_charts()))
+    });
+    group.bench_function("table1_geekbench", |b| b.iter(|| black_box(tables::table1())));
+    group.bench_function("table2_power", |b| b.iter(|| black_box(tables::table2())));
+    group.bench_function("table3_components", |b| b.iter(|| black_box(tables::table3())));
+    group.bench_function("fig2_single_device_cci", |b| {
+        b.iter(|| black_box(SingleDeviceStudy::new(Benchmark::Dijkstra).run_paper_devices()))
+    });
+    group.bench_function("fig5_cluster_cci", |b| {
+        b.iter(|| {
+            black_box(
+                ClusterCciStudy::new(Benchmark::Dijkstra, PowerRegime::CaliforniaMix)
+                    .run_paper_cloudlets()
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("fig6_energy_mix", |b| b.iter(|| black_box(energy_mix_chart().unwrap())));
+    group.bench_function("table4_datacenter", |b| {
+        b.iter(|| black_box(DatacenterStudy::new().cci_table().unwrap()))
+    });
+    group.bench_function("fig9_carbon_per_request", |b| {
+        let months: Vec<f64> = (1..=54).map(f64::from).collect();
+        b.iter(|| black_box(figure9_chart(CloudletWorkload::HotelReservation, &months).unwrap()))
+    });
+    group.bench_function("cost_section_6_2", |b| {
+        b.iter(|| black_box(cost_table(TimeSpan::from_years(3.0))))
+    });
+    group.finish();
+}
+
+fn simulation_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("fig3_thermal_stress_test", |b| b.iter(|| black_box(run_thermal_study())));
+    group.bench_function("fig4_smart_charging_week", |b| {
+        b.iter(|| black_box(ChargingStudy::new(7).days(7).run()))
+    });
+    group.bench_function("fig7_hotel_sweep_point", |b| {
+        let study = Figure7Study::quick().qps_points(vec![2_000.0]);
+        b.iter(|| black_box(study.run(CloudletWorkload::HotelReservation).unwrap()))
+    });
+    group.bench_function("fig8_utilization_phases", |b| {
+        b.iter(|| black_box(figure8_utilization(800.0, 900.0, 5.0, 7).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, analytic_experiments, simulation_experiments);
+criterion_main!(experiments);

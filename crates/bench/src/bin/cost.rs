@@ -1,0 +1,8 @@
+//! Section 6.2: deployment cost of the ten-phone cloudlet vs a c5.9xlarge.
+use junkyard_bench::emit_table;
+use junkyard_carbon::units::TimeSpan;
+use junkyard_core::cost_study::cost_table;
+
+fn main() {
+    emit_table(&cost_table(TimeSpan::from_years(3.0)));
+}

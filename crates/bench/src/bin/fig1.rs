@@ -1,0 +1,9 @@
+//! Figure 1: smartphone capability trends versus AWS T4g instances.
+use junkyard_bench::emit_chart;
+use junkyard_core::tables::figure1_charts;
+
+fn main() {
+    for chart in figure1_charts() {
+        emit_chart(&chart);
+    }
+}

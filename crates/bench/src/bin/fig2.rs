@@ -1,0 +1,10 @@
+//! Figure 2: single-device lifetime CCI for SGEMM, PDF rendering and Dijkstra.
+use junkyard_bench::emit_chart;
+use junkyard_core::single_device::SingleDeviceStudy;
+use junkyard_devices::benchmark::Benchmark;
+
+fn main() {
+    for benchmark in Benchmark::CCI_FIGURES {
+        emit_chart(&SingleDeviceStudy::new(benchmark).run_paper_devices());
+    }
+}

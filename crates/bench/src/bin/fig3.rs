@@ -1,0 +1,17 @@
+//! Figure 3: thermal stress test of five phones in a sealed Styrofoam box.
+use junkyard_bench::{emit_chart, emit_table};
+use junkyard_core::thermal_study::run_thermal_study;
+
+fn main() {
+    let result = run_thermal_study();
+    emit_chart(&result.temperature_chart(true));
+    emit_chart(&result.temperature_chart(false));
+    emit_table(&result.summary_table());
+    let plan = result.cloudlet_cooling_plan();
+    println!(
+        "256-phone cloudlet at full load: {:.0} W of heat -> {} COTS fan(s), {:.1} kgCO2e embodied",
+        plan.heat_load().value(),
+        plan.fans_needed(),
+        plan.embodied().kilograms()
+    );
+}

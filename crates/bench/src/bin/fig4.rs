@@ -1,0 +1,11 @@
+//! Figure 4: smart charging against a synthetic CAISO April.
+use junkyard_bench::{emit_chart, emit_table};
+use junkyard_core::charging_study::ChargingStudy;
+
+fn main() {
+    let result = ChargingStudy::new(2021).run();
+    emit_table(&result.summary_table());
+    for index in 0..result.outcomes().len() {
+        emit_chart(&result.representative_day_chart(index));
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 5: cluster-level lifetime CCI for the five Section 5.2 cloudlets.
+use junkyard_bench::emit_chart;
+use junkyard_core::cluster_cci::{nexus4_vs_new_server_crossover, ClusterCciStudy};
+use junkyard_devices::benchmark::Benchmark;
+use junkyard_grid::regime::PowerRegime;
+
+fn main() {
+    for regime in [PowerRegime::CaliforniaMix, PowerRegime::AlwaysSolar] {
+        for benchmark in Benchmark::CCI_FIGURES {
+            let chart = ClusterCciStudy::new(benchmark, regime)
+                .run_paper_cloudlets()
+                .expect("catalog devices have all benchmark scores");
+            emit_chart(&chart);
+        }
+    }
+    let crossover = nexus4_vs_new_server_crossover(Benchmark::Sgemm, PowerRegime::CaliforniaMix, 120)
+        .expect("calculators are well formed");
+    println!(
+        "Nexus 4 cluster vs new PowerEdge crossover on SGEMM: {:?} months (paper: ~45)",
+        crossover
+    );
+}

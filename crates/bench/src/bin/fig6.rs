@@ -1,0 +1,7 @@
+//! Figure 6: effect of the energy mix on CCI (Pixel 3A vs PowerEdge, SGEMM).
+use junkyard_bench::emit_chart;
+use junkyard_core::energy_mix::energy_mix_chart;
+
+fn main() {
+    emit_chart(&energy_mix_chart().expect("catalog devices have SGEMM scores"));
+}

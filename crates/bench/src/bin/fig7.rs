@@ -1,0 +1,24 @@
+//! Figure 7: DeathStarBench latency vs throughput, phone cloudlet vs EC2 C5.
+//!
+//! Runs a reduced sweep by default; set `JUNKYARD_FULL=1` for the
+//! paper-scale sweep (slower).
+use junkyard_bench::{emit_chart, full_scale};
+use junkyard_core::cloudlet_study::{CloudletWorkload, Figure7Study};
+
+fn main() {
+    let study = if full_scale() {
+        Figure7Study::paper_scale()
+    } else {
+        Figure7Study::quick()
+    };
+    for workload in CloudletWorkload::ALL {
+        let result = study.run(workload).expect("deployments build");
+        emit_chart(&result.chart(false));
+        emit_chart(&result.chart(true));
+        println!("Max sustainable throughput for {}:", workload.label());
+        for (deployment, qps) in result.saturation_points() {
+            println!("  {deployment:12} {qps:?}");
+        }
+        println!();
+    }
+}

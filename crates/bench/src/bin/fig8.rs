@@ -1,0 +1,38 @@
+//! Figure 8: per-phone CPU utilisation while serving SocialNetwork reads
+//! then writes.
+//!
+//! Runs scaled-down phases by default; set `JUNKYARD_FULL=1` for the
+//! paper's 120-second phases at 3,000/3,500 QPS.
+use junkyard_bench::full_scale;
+use junkyard_core::cloudlet_study::figure8_utilization;
+use junkyard_core::deployments::{build_deployment, DeploymentKind};
+use junkyard_microsim::app::social_network;
+
+fn main() {
+    let (read_qps, write_qps, phase_s) = if full_scale() {
+        (3_000.0, 3_500.0, 120.0)
+    } else {
+        (1_500.0, 1_750.0, 20.0)
+    };
+    let app = social_network();
+    let sim = build_deployment(DeploymentKind::PhoneCloudlet, &app, 11).expect("deployment builds");
+    println!("Service placement across the ten phones:");
+    for node in 0..sim.nodes().len() {
+        println!("  {}: {}", sim.nodes()[node].name(), sim.placement().services_on(node).join(", "));
+    }
+    let metrics = figure8_utilization(read_qps, write_qps, phase_s, 7).expect("simulation runs");
+    println!("\nPer-phone mean CPU utilisation (%) per phase (idle/read/idle/write/idle):");
+    let phase = |i: usize| -> (usize, usize) {
+        let p = phase_s as usize;
+        (i * p, (i + 1) * p)
+    };
+    for node in metrics.node_utilization() {
+        let per_phase: Vec<String> = (0..5)
+            .map(|i| {
+                let (from, to) = phase(i);
+                format!("{:5.1}", node.mean_percent_between(from, to))
+            })
+            .collect();
+        println!("  {:10} {}", node.node(), per_phase.join("  "));
+    }
+}

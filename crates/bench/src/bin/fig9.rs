@@ -1,0 +1,17 @@
+//! Figure 9: carbon per request of the phone cloudlet vs a c5.9xlarge.
+use junkyard_bench::emit_chart;
+use junkyard_carbon::units::TimeSpan;
+use junkyard_core::cloudlet_study::{figure9_advantage, figure9_chart, CloudletWorkload};
+
+fn main() {
+    let months: Vec<f64> = (1..=54).map(f64::from).collect();
+    for workload in CloudletWorkload::ALL {
+        emit_chart(&figure9_chart(workload, &months).expect("well-formed calculators"));
+        let advantage = figure9_advantage(workload, TimeSpan::from_years(3.0))
+            .expect("well-formed calculators");
+        println!(
+            "{}: phone cloudlet is {advantage:.1}x more carbon-efficient per request after 3 years\n",
+            workload.label()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Table 1: GeekBench performance and server-equivalence (N) per device.
+use junkyard_bench::emit_table;
+use junkyard_core::tables::table1;
+
+fn main() {
+    emit_table(&table1());
+}

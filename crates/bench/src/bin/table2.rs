@@ -1,0 +1,7 @@
+//! Table 2: power draw versus CPU load and the light-medium average.
+use junkyard_bench::emit_table;
+use junkyard_core::tables::table2;
+
+fn main() {
+    emit_table(&table2());
+}

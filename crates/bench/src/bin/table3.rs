@@ -1,0 +1,9 @@
+//! Table 3: Nexus 4 component embodied carbon and the compute-node reuse factor.
+use junkyard_bench::emit_table;
+use junkyard_core::tables::table3;
+
+fn main() {
+    let (table, reuse_factor) = table3();
+    emit_table(&table);
+    println!("Reuse factor of the compute-node role: {reuse_factor:.2} (paper: 0.85)");
+}

@@ -1,0 +1,16 @@
+//! Table 4 and the Section 5.3 PUE comparison: 50 MW datacenter projections.
+use junkyard_bench::emit_table;
+use junkyard_core::datacenter_study::DatacenterStudy;
+use junkyard_devices::benchmark::Benchmark;
+
+fn main() {
+    let study = DatacenterStudy::new();
+    emit_table(&study.pue_table());
+    emit_table(&study.cci_table().expect("catalog devices have all scores"));
+    for benchmark in Benchmark::CCI_FIGURES {
+        println!(
+            "smartphone advantage on {benchmark}: {:.1}x",
+            study.smartphone_advantage(benchmark).expect("well-formed calculators")
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The smart-charging study of Figure 4: Pixel 3A and ThinkPad against a
+//! synthetic CAISO April.
+
+use junkyard_battery::sim::{SmartChargingConfig, SmartChargingOutcome};
+use junkyard_devices::catalog;
+use junkyard_devices::power::LoadProfile;
+use junkyard_grid::synth::CaisoSynthesizer;
+use junkyard_grid::trace::IntensityTrace;
+
+use crate::report::{Chart, SeriesLine, Table};
+
+/// The Figure 4 study configuration.
+#[derive(Debug, Clone)]
+pub struct ChargingStudy {
+    seed: u64,
+    days: usize,
+}
+
+/// The result of the study: the grid trace used and one outcome per device.
+#[derive(Debug, Clone)]
+pub struct ChargingStudyResult {
+    trace: IntensityTrace,
+    outcomes: Vec<SmartChargingOutcome>,
+}
+
+impl ChargingStudy {
+    /// Creates the study with the paper's month-long horizon.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed, days: 30 }
+    }
+
+    /// Overrides the number of simulated days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is zero.
+    #[must_use]
+    pub fn days(mut self, days: usize) -> Self {
+        assert!(days > 0, "need at least one day");
+        self.days = days;
+        self
+    }
+
+    /// Runs the study for the paper's two devices (Pixel 3A and ThinkPad X1
+    /// Carbon Gen 3) on a synthetic CAISO month.
+    #[must_use]
+    pub fn run(&self) -> ChargingStudyResult {
+        let trace = CaisoSynthesizer::new(self.seed, self.days).intensity_trace();
+        let profile = LoadProfile::light_medium();
+        let pixel = catalog::pixel_3a();
+        let thinkpad = catalog::thinkpad_x1_carbon_g3();
+        let outcomes = vec![
+            SmartChargingConfig::new(
+                pixel.name(),
+                pixel.average_power(&profile),
+                pixel.battery().expect("the Pixel has a battery"),
+            )
+            .run(&trace),
+            SmartChargingConfig::new(
+                thinkpad.name(),
+                thinkpad.average_power(&profile),
+                thinkpad.battery().expect("the ThinkPad has a battery"),
+            )
+            .run(&trace),
+        ];
+        ChargingStudyResult { trace, outcomes }
+    }
+}
+
+impl Default for ChargingStudy {
+    fn default() -> Self {
+        Self::new(2021)
+    }
+}
+
+impl ChargingStudyResult {
+    /// The grid trace the study ran against.
+    #[must_use]
+    pub fn trace(&self) -> &IntensityTrace {
+        &self.trace
+    }
+
+    /// Per-device outcomes (Pixel first, ThinkPad second).
+    #[must_use]
+    pub fn outcomes(&self) -> &[SmartChargingOutcome] {
+        &self.outcomes
+    }
+
+    /// Summary table: median and standard deviation of daily savings per
+    /// device (the numbers quoted in Section 4.3).
+    #[must_use]
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new(
+            "Smart charging savings (synthetic CAISO month)",
+            vec![
+                "device".into(),
+                "median savings %".into(),
+                "std %".into(),
+                "battery replacements".into(),
+            ],
+        );
+        for outcome in &self.outcomes {
+            table.push_row(vec![
+                outcome.label().to_owned(),
+                format!("{:.2}", outcome.median_savings_percent()),
+                format!("{:.2}", outcome.std_savings_percent()),
+                outcome.battery_replacements().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The Figure 4b/4c chart for one device: the representative day's
+    /// carbon-intensity curve and the charging windows chosen by the policy
+    /// (1 when charging, 0 otherwise, scaled to the intensity axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device_index` is out of range.
+    #[must_use]
+    pub fn representative_day_chart(&self, device_index: usize) -> Chart {
+        let outcome = &self.outcomes[device_index];
+        let day = outcome
+            .representative_day()
+            .expect("the study always has more than one day");
+        let day_trace = self
+            .trace
+            .day(day.day_index())
+            .expect("representative day is within the trace");
+        let intensity: Vec<(f64, f64)> = day_trace
+            .iter()
+            .map(|(t, ci)| (t.hours(), ci.grams_per_kwh()))
+            .collect();
+        let max_intensity = day_trace.max().grams_per_kwh();
+        let charging: Vec<(f64, f64)> = day
+            .charging_flags()
+            .iter()
+            .enumerate()
+            .map(|(i, on)| {
+                (
+                    i as f64 * day.step().hours(),
+                    if *on { max_intensity } else { 0.0 },
+                )
+            })
+            .collect();
+        Chart::new(
+            format!(
+                "{} — representative day ({}), {:.2}% savings",
+                outcome.label(),
+                day.day_index(),
+                day.savings_percent()
+            ),
+            "hour of day",
+            "gCO2e/kWh",
+        )
+        .with_line(SeriesLine::new("carbon intensity", intensity))
+        .with_line(SeriesLine::new("when to charge", charging))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_study() -> ChargingStudyResult {
+        ChargingStudy::new(7).days(10).run()
+    }
+
+    #[test]
+    fn pixel_saves_more_than_the_thinkpad() {
+        let result = short_study();
+        let pixel = result.outcomes()[0].median_savings_percent();
+        let thinkpad = result.outcomes()[1].median_savings_percent();
+        assert!(pixel > thinkpad, "pixel {pixel}% vs thinkpad {thinkpad}%");
+        assert!(pixel > 2.0 && pixel < 20.0);
+        assert!(thinkpad > 0.0);
+    }
+
+    #[test]
+    fn summary_table_has_both_devices() {
+        let table = short_study().summary_table();
+        assert_eq!(table.rows().len(), 2);
+        assert!(table.rows()[0][0].contains("Pixel"));
+        assert!(table.rows()[1][0].contains("ThinkPad"));
+    }
+
+    #[test]
+    fn representative_day_chart_shows_charging_in_clean_hours() {
+        let result = short_study();
+        let chart = result.representative_day_chart(0);
+        let intensity = chart.line("carbon intensity").unwrap();
+        let charging = chart.line("when to charge").unwrap();
+        assert_eq!(intensity.points().len(), charging.points().len());
+        // Average intensity during charging hours should be below the day's
+        // overall mean.
+        let mean: f64 = intensity.points().iter().map(|(_, y)| y).sum::<f64>()
+            / intensity.points().len() as f64;
+        let charging_points: Vec<f64> = intensity
+            .points()
+            .iter()
+            .zip(charging.points())
+            .filter(|(_, (_, on))| *on > 0.0)
+            .map(|((_, y), _)| *y)
+            .collect();
+        assert!(!charging_points.is_empty());
+        let charging_mean = charging_points.iter().sum::<f64>() / charging_points.len() as f64;
+        assert!(charging_mean < mean, "{charging_mean} vs {mean}");
+    }
+}

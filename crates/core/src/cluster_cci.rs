@@ -1,0 +1,211 @@
+//! Cluster-level lifetime CCI (Figure 5) and the reuse-vs-new crossover
+//! analysis of Section 5.2.
+
+use junkyard_carbon::cci::{crossover_months, CciCalculator, CciError};
+use junkyard_carbon::operational::NetworkProfile;
+use junkyard_carbon::units::{DataRate, TimeSpan};
+use junkyard_cluster::cloudlet::CloudletDesign;
+use junkyard_cluster::presets;
+use junkyard_devices::benchmark::Benchmark;
+use junkyard_devices::power::LoadProfile;
+use junkyard_grid::regime::PowerRegime;
+
+use crate::report::{Chart, SeriesLine};
+use crate::single_device::lifetime_months_axis;
+
+/// Assembles the CCI calculator for a whole cloudlet under a power regime.
+///
+/// * Devices are reused unless the design says otherwise; peripherals always
+///   pay their embodied carbon (Eq. 12).
+/// * The cloudlet's networking term uses the paper's 0.1 Gbps at the WiFi
+///   (5 µJ/byte) or wired energy intensity.
+/// * Smart charging scales the operational terms and schedules battery
+///   replacements; the solar regime strips both (Section 5.2).
+///
+/// # Panics
+///
+/// Panics if the cloudlet's device has no score for `benchmark`.
+#[must_use]
+pub fn cloudlet_calculator(
+    cloudlet: &CloudletDesign,
+    benchmark: Benchmark,
+    regime: PowerRegime,
+) -> CciCalculator {
+    let profile = LoadProfile::light_medium();
+    let effective = if regime.supports_smart_charging() {
+        cloudlet.clone()
+    } else {
+        cloudlet.without_smart_charging()
+    };
+    let throughput = effective
+        .aggregate_throughput(benchmark, &profile)
+        .unwrap_or_else(|| panic!("{} has no {benchmark} score", effective.device().name()));
+    let network = if effective.network().needs_cellular() {
+        NetworkProfile::wifi(DataRate::from_gigabits_per_sec(0.1))
+    } else {
+        NetworkProfile::new(
+            DataRate::from_gigabits_per_sec(0.1),
+            junkyard_carbon::units::EnergyPerByte::from_microjoules_per_byte(2.0),
+        )
+    };
+    let mut calc = CciCalculator::new(benchmark.op_unit())
+        .embodied(effective.embodied_bill())
+        .average_power(effective.average_power(&profile))
+        .grid(regime.carbon_intensity())
+        .network(network)
+        .throughput(throughput)
+        .operational_scale(effective.operational_scale());
+    if regime.supports_smart_charging() {
+        if let Some((per_round, pack_lifetime)) = effective.battery_schedule(&profile) {
+            calc = calc.battery_replacement(per_round, pack_lifetime);
+        }
+    }
+    calc
+}
+
+/// The Figure 5 study: lifetime CCI of the five Section 5.2 cloudlets for
+/// one benchmark under one power regime.
+#[derive(Debug, Clone)]
+pub struct ClusterCciStudy {
+    benchmark: Benchmark,
+    regime: PowerRegime,
+    months: Vec<f64>,
+}
+
+impl ClusterCciStudy {
+    /// Creates the study.
+    #[must_use]
+    pub fn new(benchmark: Benchmark, regime: PowerRegime) -> Self {
+        Self {
+            benchmark,
+            regime,
+            months: lifetime_months_axis(),
+        }
+    }
+
+    /// Overrides the lifetime axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is empty.
+    #[must_use]
+    pub fn months(mut self, months: Vec<f64>) -> Self {
+        assert!(!months.is_empty(), "the lifetime axis cannot be empty");
+        self.months = months;
+        self
+    }
+
+    /// Runs the study over a set of cloudlet designs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CCI errors (an empty axis cannot occur; a cloudlet with
+    /// zero lifetime work would).
+    pub fn run(&self, cloudlets: &[CloudletDesign]) -> Result<Chart, CciError> {
+        let mut chart = Chart::new(
+            format!("Cluster CCI — {} ({})", self.benchmark, self.regime),
+            "lifetime (months)",
+            format!("mgCO2e/{}", self.benchmark.op_unit()),
+        );
+        for cloudlet in cloudlets {
+            let calc = cloudlet_calculator(cloudlet, self.benchmark, self.regime);
+            let mut points = Vec::with_capacity(self.months.len());
+            for m in &self.months {
+                let cci = calc.cci_at(TimeSpan::from_months(*m))?;
+                points.push((*m, cci.milligrams_per_op()));
+            }
+            chart.push_line(SeriesLine::new(cloudlet.name(), points));
+        }
+        Ok(chart)
+    }
+
+    /// Runs the study on the paper's five cloudlets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CCI errors.
+    pub fn run_paper_cloudlets(&self) -> Result<Chart, CciError> {
+        self.run(&presets::section_5_2_cloudlets())
+    }
+}
+
+/// Section 5.2's crossover observation: the lifetime (in months) beyond
+/// which running the power-hungry Nexus 4 cluster stops beating
+/// manufacturing a new PowerEdge, per benchmark (≈45 months for SGEMM; never
+/// for the Pixel cluster).
+///
+/// # Errors
+///
+/// Propagates CCI configuration errors.
+pub fn nexus4_vs_new_server_crossover(
+    benchmark: Benchmark,
+    regime: PowerRegime,
+    max_months: u32,
+) -> Result<Option<u32>, CciError> {
+    let nexus = cloudlet_calculator(&presets::nexus4_cloudlet(), benchmark, regime);
+    let server = cloudlet_calculator(&presets::poweredge_baseline(), benchmark, regime);
+    crossover_months(&nexus, &server, max_months)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reused_cloudlets_beat_the_new_server_early_on() {
+        let chart = ClusterCciStudy::new(Benchmark::PdfRender, PowerRegime::CaliforniaMix)
+            .months((1..=24).map(f64::from).collect())
+            .run_paper_cloudlets()
+            .unwrap();
+        let server_at_12 = chart.line("PowerEdge R740").unwrap().points()[11].1;
+        for label in ["ThinkPad x17", "Pixel 3A x54", "Nexus 4 x256"] {
+            let at_12 = chart.line(label).unwrap().points()[11].1;
+            assert!(at_12 < server_at_12, "{label}: {at_12} vs server {server_at_12}");
+        }
+    }
+
+    #[test]
+    fn pixel_cluster_beats_the_server_at_every_lifetime() {
+        // Section 5.2: "The more efficient Pixel 3A smartphone cluster beats
+        // out the server every time."
+        let chart = ClusterCciStudy::new(Benchmark::Dijkstra, PowerRegime::CaliforniaMix)
+            .run_paper_cloudlets()
+            .unwrap();
+        let pixel = chart.line("Pixel 3A x54").unwrap();
+        let server = chart.line("PowerEdge R740").unwrap();
+        for (p, s) in pixel.points().iter().zip(server.points()) {
+            assert!(p.1 < s.1, "month {}: {} vs {}", p.0, p.1, s.1);
+        }
+    }
+
+    #[test]
+    fn nexus4_sgemm_crossover_happens_within_the_study_horizon() {
+        // The paper finds the Nexus 4 cluster is more carbon efficient than a
+        // new server for lifetimes under ~45 months on SGEMM.
+        let crossover =
+            nexus4_vs_new_server_crossover(Benchmark::Sgemm, PowerRegime::CaliforniaMix, 120)
+                .unwrap();
+        let months = crossover.expect("a crossover should exist for SGEMM");
+        assert!(
+            (24..=80).contains(&months),
+            "crossover at {months} months, expected in the vicinity of 45"
+        );
+    }
+
+    #[test]
+    fn solar_regime_lowers_cci_for_everyone() {
+        let ca = ClusterCciStudy::new(Benchmark::Dijkstra, PowerRegime::CaliforniaMix)
+            .months(vec![36.0])
+            .run_paper_cloudlets()
+            .unwrap();
+        let solar = ClusterCciStudy::new(Benchmark::Dijkstra, PowerRegime::AlwaysSolar)
+            .months(vec![36.0])
+            .run_paper_cloudlets()
+            .unwrap();
+        for line in ca.lines() {
+            let ca_value = line.final_value().unwrap();
+            let solar_value = solar.line(line.label()).unwrap().final_value().unwrap();
+            assert!(solar_value < ca_value, "{}", line.label());
+        }
+    }
+}

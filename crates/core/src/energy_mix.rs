@@ -1,0 +1,173 @@
+//! The energy-mix study of Figure 6: how the power regime changes lifetime
+//! CCI for a reused Pixel 3A versus a new PowerEdge server (SGEMM).
+
+use junkyard_carbon::cci::CciError;
+use junkyard_carbon::units::TimeSpan;
+use junkyard_devices::benchmark::Benchmark;
+use junkyard_devices::catalog;
+use junkyard_grid::regime::PowerRegime;
+
+use crate::report::{Chart, SeriesLine};
+use crate::single_device::{device_calculator, lifetime_months_axis};
+
+/// One curve of Figure 6: a device under a power regime, optionally with
+/// smart charging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixScenario {
+    /// `true` for the reused Pixel 3A, `false` for the new PowerEdge.
+    pub pixel: bool,
+    /// The energy regime powering the device.
+    pub regime: PowerRegime,
+    /// Whether smart charging is applied (only meaningful for the Pixel on
+    /// the California mix).
+    pub smart_charging: bool,
+}
+
+impl MixScenario {
+    /// Legend label matching the paper's figure.
+    #[must_use]
+    pub fn label(self) -> String {
+        let device = if self.pixel { "Pixel" } else { "Server" };
+        let regime = if self.smart_charging {
+            "CA + SC".to_owned()
+        } else {
+            self.regime.label().to_owned()
+        };
+        format!("[{device}] {regime}")
+    }
+}
+
+/// The Figure 6 scenario list: Pixel under California, California with smart
+/// charging, solar and zero-carbon; PowerEdge under California, solar and
+/// zero-carbon.
+#[must_use]
+pub fn paper_scenarios() -> Vec<MixScenario> {
+    let mut scenarios = vec![MixScenario {
+        pixel: true,
+        regime: PowerRegime::CaliforniaMix,
+        smart_charging: false,
+    }];
+    scenarios.push(MixScenario {
+        pixel: true,
+        regime: PowerRegime::CaliforniaMix,
+        smart_charging: true,
+    });
+    for regime in [PowerRegime::AlwaysSolar, PowerRegime::ZeroCarbon] {
+        scenarios.push(MixScenario {
+            pixel: true,
+            regime,
+            smart_charging: false,
+        });
+    }
+    for regime in PowerRegime::ALL {
+        scenarios.push(MixScenario {
+            pixel: false,
+            regime,
+            smart_charging: false,
+        });
+    }
+    scenarios
+}
+
+/// Smart-charging saving applied to the Pixel's operational carbon in the
+/// "CA + SC" scenario (Section 4.3's 7 % median saving).
+pub const PIXEL_SMART_CHARGING_SAVING: f64 = 0.07;
+
+/// Runs the Figure 6 study on the SGEMM benchmark.
+///
+/// # Errors
+///
+/// Propagates CCI errors.
+pub fn energy_mix_chart() -> Result<Chart, CciError> {
+    energy_mix_chart_for(Benchmark::Sgemm, &lifetime_months_axis())
+}
+
+/// Runs the energy-mix study for an arbitrary benchmark and lifetime axis.
+///
+/// # Errors
+///
+/// Propagates CCI errors.
+///
+/// # Panics
+///
+/// Panics if `months` is empty.
+pub fn energy_mix_chart_for(benchmark: Benchmark, months: &[f64]) -> Result<Chart, CciError> {
+    assert!(!months.is_empty(), "the lifetime axis cannot be empty");
+    let pixel = catalog::pixel_3a();
+    let server = catalog::poweredge_r740();
+    let mut chart = Chart::new(
+        format!("Energy mix vs CCI — {benchmark}"),
+        "lifetime (months)",
+        format!("mgCO2e/{}", benchmark.op_unit()),
+    );
+    for scenario in paper_scenarios() {
+        let device = if scenario.pixel { &pixel } else { &server };
+        let mut calc = device_calculator(
+            device,
+            benchmark,
+            scenario.regime.carbon_intensity(),
+            scenario.pixel,
+        );
+        if scenario.smart_charging {
+            calc = calc.operational_scale(1.0 - PIXEL_SMART_CHARGING_SAVING);
+            if let Some(battery) = device.battery() {
+                let profile = junkyard_devices::power::LoadProfile::light_medium();
+                calc = calc.battery_replacement(
+                    battery.embodied(),
+                    battery.projected_lifetime(device.average_power(&profile)),
+                );
+            }
+        }
+        let mut points = Vec::with_capacity(months.len());
+        for m in months {
+            points.push((*m, calc.cci_at(TimeSpan::from_months(*m))?.milligrams_per_op()));
+        }
+        chart.push_line(SeriesLine::new(scenario.label(), points));
+    }
+    Ok(chart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaner_energy_means_lower_cci() {
+        let chart = energy_mix_chart().unwrap();
+        let ca = chart.line("[Pixel] California").unwrap().final_value().unwrap();
+        let solar = chart.line("[Pixel] Solar").unwrap().final_value().unwrap();
+        let zero = chart.line("[Pixel] Z.Carbon").unwrap().final_value().unwrap();
+        assert!(solar < ca);
+        assert!(zero <= solar);
+        // A reused device on a perfectly clean grid has zero CCI.
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn smart_charging_helps_on_the_california_mix() {
+        let chart = energy_mix_chart().unwrap();
+        let plain = chart.line("[Pixel] California").unwrap().points()[11].1;
+        let sc = chart.line("[Pixel] CA + SC").unwrap().points()[11].1;
+        assert!(sc < plain, "smart charging {sc} vs plain {plain}");
+    }
+
+    #[test]
+    fn embodied_carbon_dominates_the_server_on_clean_grids() {
+        // Figure 6's point: with zero-carbon energy only manufacturing
+        // matters, so the new server keeps a non-zero CCI while the reused
+        // phone goes to (near) zero.
+        let chart = energy_mix_chart().unwrap();
+        let server_zero = chart.line("[Server] Z.Carbon").unwrap().final_value().unwrap();
+        let pixel_zero = chart.line("[Pixel] Z.Carbon").unwrap().final_value().unwrap();
+        assert!(server_zero > 0.0);
+        assert!(pixel_zero < server_zero);
+    }
+
+    #[test]
+    fn scenario_labels_match_figure_legend() {
+        let labels: Vec<String> = paper_scenarios().iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"[Pixel] CA + SC".to_owned()));
+        assert!(labels.contains(&"[Server] California".to_owned()));
+        assert_eq!(labels.len(), 7);
+    }
+}

@@ -1,0 +1,258 @@
+//! Time series of grid carbon intensity.
+//!
+//! The smart-charging heuristic (Section 4.3) consumes a per-day carbon
+//! intensity trace: it sets the charging threshold at a percentile of the
+//! *previous* day's intensities and charges whenever the current intensity
+//! falls below it. [`IntensityTrace`] stores a fixed-step series and provides
+//! the day slicing, percentile and averaging operations that algorithm and
+//! the Figure 4 reproduction need.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
+
+/// A fixed-step time series of grid carbon intensity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntensityTrace {
+    step: TimeSpan,
+    values: Vec<CarbonIntensity>,
+}
+
+impl IntensityTrace {
+    /// Creates a trace from a fixed step and a vector of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not strictly positive or the sample vector is
+    /// empty.
+    #[must_use]
+    pub fn new(step: TimeSpan, values: Vec<CarbonIntensity>) -> Self {
+        assert!(step.seconds() > 0.0, "trace step must be positive");
+        assert!(!values.is_empty(), "trace must contain at least one sample");
+        Self { step, values }
+    }
+
+    /// A flat trace at a constant intensity covering `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` or `duration` is not strictly positive.
+    #[must_use]
+    pub fn constant(intensity: CarbonIntensity, step: TimeSpan, duration: TimeSpan) -> Self {
+        assert!(duration.seconds() > 0.0, "duration must be positive");
+        let samples = (duration.seconds() / step.seconds()).ceil().max(1.0) as usize;
+        Self::new(step, vec![intensity; samples])
+    }
+
+    /// The sampling step.
+    #[must_use]
+    pub fn step(&self) -> TimeSpan {
+        self.step
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the trace has no samples (never true for constructed
+    /// traces, but required by convention alongside `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total duration covered by the trace.
+    #[must_use]
+    pub fn duration(&self) -> TimeSpan {
+        TimeSpan::from_secs(self.step.seconds() * self.values.len() as f64)
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn values(&self) -> &[CarbonIntensity] {
+        &self.values
+    }
+
+    /// Sample at the given offset from the start of the trace. Offsets past
+    /// the end wrap around (the synthetic traces are periodic by day), and
+    /// negative offsets clamp to the first sample.
+    #[must_use]
+    pub fn value_at(&self, offset: TimeSpan) -> CarbonIntensity {
+        if offset.seconds() <= 0.0 {
+            return self.values[0];
+        }
+        let index = (offset.seconds() / self.step.seconds()).floor() as usize;
+        self.values[index % self.values.len()]
+    }
+
+    /// Iterates over `(offset, intensity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeSpan, CarbonIntensity)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (TimeSpan::from_secs(self.step.seconds() * i as f64), *v))
+    }
+
+    /// Mean intensity across the trace.
+    #[must_use]
+    pub fn mean(&self) -> CarbonIntensity {
+        let sum: f64 = self.values.iter().map(|v| v.grams_per_kwh()).sum();
+        CarbonIntensity::from_grams_per_kwh(sum / self.values.len() as f64)
+    }
+
+    /// Minimum intensity across the trace.
+    #[must_use]
+    pub fn min(&self) -> CarbonIntensity {
+        CarbonIntensity::from_grams_per_kwh(
+            self.values
+                .iter()
+                .map(|v| v.grams_per_kwh())
+                .fold(f64::INFINITY, f64::min),
+        )
+    }
+
+    /// Maximum intensity across the trace.
+    #[must_use]
+    pub fn max(&self) -> CarbonIntensity {
+        CarbonIntensity::from_grams_per_kwh(
+            self.values
+                .iter()
+                .map(|v| v.grams_per_kwh())
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// The `p`-th percentile (0–100) of the trace's intensities, computed by
+    /// linear interpolation between order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> CarbonIntensity {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let mut sorted: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("intensities are finite"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        CarbonIntensity::from_grams_per_kwh(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Number of whole days covered by the trace.
+    #[must_use]
+    pub fn day_count(&self) -> usize {
+        (self.duration().days()).floor() as usize
+    }
+
+    /// Extracts one whole day (day 0 is the first) as its own trace.
+    /// Returns `None` if the trace does not cover that day completely.
+    #[must_use]
+    pub fn day(&self, index: usize) -> Option<IntensityTrace> {
+        let per_day = (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
+        if per_day == 0 {
+            return None;
+        }
+        let start = index.checked_mul(per_day)?;
+        let end = start.checked_add(per_day)?;
+        if end > self.values.len() {
+            return None;
+        }
+        Some(IntensityTrace::new(self.step, self.values[start..end].to_vec()))
+    }
+}
+
+impl fmt::Display for IntensityTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples @ {:.0} s (mean {:.0})",
+            self.values.len(),
+            self.step.seconds(),
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> IntensityTrace {
+        IntensityTrace::new(
+            TimeSpan::from_minutes(5.0),
+            (0..n)
+                .map(|i| CarbonIntensity::from_grams_per_kwh(i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn constant_trace_statistics() {
+        let trace = IntensityTrace::constant(
+            CarbonIntensity::from_grams_per_kwh(257.0),
+            TimeSpan::from_minutes(5.0),
+            TimeSpan::from_days(1.0),
+        );
+        assert_eq!(trace.len(), 288);
+        assert!((trace.mean().grams_per_kwh() - 257.0).abs() < 1e-9);
+        assert_eq!(trace.min(), trace.max());
+        assert_eq!(trace.day_count(), 1);
+    }
+
+    #[test]
+    fn value_at_indexes_and_wraps() {
+        let trace = ramp(12);
+        assert_eq!(trace.value_at(TimeSpan::ZERO).grams_per_kwh(), 0.0);
+        assert_eq!(trace.value_at(TimeSpan::from_minutes(7.0)).grams_per_kwh(), 1.0);
+        // One full hour wraps back to the start.
+        assert_eq!(trace.value_at(TimeSpan::from_minutes(60.0)).grams_per_kwh(), 0.0);
+        assert_eq!(trace.value_at(TimeSpan::from_minutes(-5.0)).grams_per_kwh(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let trace = ramp(101);
+        assert!((trace.percentile(0.0).grams_per_kwh() - 0.0).abs() < 1e-9);
+        assert!((trace.percentile(50.0).grams_per_kwh() - 50.0).abs() < 1e-9);
+        assert!((trace.percentile(100.0).grams_per_kwh() - 100.0).abs() < 1e-9);
+        assert!((trace.percentile(25.0).grams_per_kwh() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_slicing() {
+        let trace = IntensityTrace::constant(
+            CarbonIntensity::from_grams_per_kwh(100.0),
+            TimeSpan::from_hours(1.0),
+            TimeSpan::from_days(3.0),
+        );
+        assert_eq!(trace.day_count(), 3);
+        let day1 = trace.day(1).unwrap();
+        assert_eq!(day1.len(), 24);
+        assert!(trace.day(3).is_none());
+    }
+
+    #[test]
+    fn iter_offsets_are_regular() {
+        let trace = ramp(4);
+        let offsets: Vec<f64> = trace.iter().map(|(t, _)| t.minutes()).collect();
+        assert_eq!(offsets, vec![0.0, 5.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_panics() {
+        let _ = IntensityTrace::new(TimeSpan::from_minutes(5.0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        let _ = ramp(10).percentile(150.0);
+    }
+}

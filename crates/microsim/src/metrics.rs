@@ -1,0 +1,317 @@
+//! Measurement containers: latency distributions and per-node CPU
+//! utilisation traces.
+
+use serde::{Deserialize, Serialize};
+
+/// A latency distribution, in milliseconds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    sorted_ms: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Builds statistics from raw latency samples (milliseconds).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Self { sorted_ms: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sorted_ms.len()
+    }
+
+    /// `true` when no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ms.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100), or `None` for an empty distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.sorted_ms.is_empty() {
+            return None;
+        }
+        let rank = p / 100.0 * (self.sorted_ms.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.sorted_ms[lo] * (1.0 - frac) + self.sorted_ms[hi] * frac)
+    }
+
+    /// Median latency in ms (the paper's "Median" row of Figure 7).
+    #[must_use]
+    pub fn median_ms(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile latency in ms (the paper's "Tail" row of Figure 7).
+    #[must_use]
+    pub fn tail_ms(&self) -> Option<f64> {
+        self.percentile(90.0)
+    }
+
+    /// Mean latency in ms.
+    #[must_use]
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.sorted_ms.is_empty() {
+            None
+        } else {
+            Some(self.sorted_ms.iter().sum::<f64>() / self.sorted_ms.len() as f64)
+        }
+    }
+
+    /// Maximum latency in ms.
+    #[must_use]
+    pub fn max_ms(&self) -> Option<f64> {
+        self.sorted_ms.last().copied()
+    }
+}
+
+/// Per-second CPU utilisation of one node, split into user (service work)
+/// and system (RPC handling) time, as plotted per phone in Figure 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeUtilization {
+    node: String,
+    cores: u32,
+    user_core_seconds: Vec<f64>,
+    sys_core_seconds: Vec<f64>,
+}
+
+impl NodeUtilization {
+    /// Creates an empty trace of `buckets` one-second buckets for a node
+    /// with `cores` cores.
+    #[must_use]
+    pub fn new(node: impl Into<String>, cores: u32, buckets: usize) -> Self {
+        Self {
+            node: node.into(),
+            cores,
+            user_core_seconds: vec![0.0; buckets],
+            sys_core_seconds: vec![0.0; buckets],
+        }
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Adds `core_seconds` of user time at second `at`.
+    pub fn add_user(&mut self, at: f64, core_seconds: f64) {
+        let idx = Self::bucket(at, self.user_core_seconds.len());
+        self.user_core_seconds[idx] += core_seconds;
+    }
+
+    /// Adds `core_seconds` of system time at second `at`.
+    pub fn add_sys(&mut self, at: f64, core_seconds: f64) {
+        let idx = Self::bucket(at, self.sys_core_seconds.len());
+        self.sys_core_seconds[idx] += core_seconds;
+    }
+
+    fn bucket(at: f64, len: usize) -> usize {
+        (at.max(0.0).floor() as usize).min(len.saturating_sub(1))
+    }
+
+    /// Number of one-second buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.user_core_seconds.len()
+    }
+
+    /// `true` if the trace has no buckets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.user_core_seconds.is_empty()
+    }
+
+    /// User CPU percentage in bucket `i` (0–100, capped).
+    #[must_use]
+    pub fn user_percent(&self, i: usize) -> f64 {
+        (self.user_core_seconds[i] / f64::from(self.cores) * 100.0).min(100.0)
+    }
+
+    /// System CPU percentage in bucket `i` (0–100, capped).
+    #[must_use]
+    pub fn sys_percent(&self, i: usize) -> f64 {
+        (self.sys_core_seconds[i] / f64::from(self.cores) * 100.0).min(100.0)
+    }
+
+    /// Total CPU percentage in bucket `i` (0–100, capped).
+    #[must_use]
+    pub fn total_percent(&self, i: usize) -> f64 {
+        (self.user_percent(i) + self.sys_percent(i)).min(100.0)
+    }
+
+    /// Mean total utilisation over the bucket range `[from, to)`, percent.
+    #[must_use]
+    pub fn mean_percent_between(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.len());
+        if from >= to {
+            return 0.0;
+        }
+        (from..to).map(|i| self.total_percent(i)).sum::<f64>() / (to - from) as f64
+    }
+}
+
+/// A completed request: when it arrived and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    arrival_s: f64,
+    latency_ms: f64,
+}
+
+impl CompletedRequest {
+    /// Creates a completion record.
+    #[must_use]
+    pub fn new(arrival_s: f64, latency_ms: f64) -> Self {
+        Self { arrival_s, latency_ms }
+    }
+
+    /// Arrival time of the request, seconds from the start of the run.
+    #[must_use]
+    pub fn arrival_s(self) -> f64 {
+        self.arrival_s
+    }
+
+    /// End-to-end latency in milliseconds.
+    #[must_use]
+    pub fn latency_ms(self) -> f64 {
+        self.latency_ms
+    }
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    duration_s: f64,
+    offered: usize,
+    completions: Vec<CompletedRequest>,
+    node_utilization: Vec<NodeUtilization>,
+}
+
+impl RunMetrics {
+    /// Assembles run metrics.
+    #[must_use]
+    pub fn new(
+        duration_s: f64,
+        offered: usize,
+        completions: Vec<CompletedRequest>,
+        node_utilization: Vec<NodeUtilization>,
+    ) -> Self {
+        Self {
+            duration_s,
+            offered,
+            completions,
+            node_utilization,
+        }
+    }
+
+    /// Simulated duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Number of requests offered by the load generator.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Completed requests with their arrival times and latencies.
+    #[must_use]
+    pub fn completions(&self) -> &[CompletedRequest] {
+        &self.completions
+    }
+
+    /// Per-node CPU utilisation traces.
+    #[must_use]
+    pub fn node_utilization(&self) -> &[NodeUtilization] {
+        &self.node_utilization
+    }
+
+    /// Latency distribution of every completed request.
+    #[must_use]
+    pub fn latency_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.completions.iter().map(|c| c.latency_ms()).collect())
+    }
+
+    /// Latency distribution of requests that *arrived* in `[from, to)`
+    /// seconds — used to skip warm-up and to slice phases.
+    #[must_use]
+    pub fn latency_stats_between(&self, from_s: f64, to_s: f64) -> LatencyStats {
+        LatencyStats::from_samples(
+            self.completions
+                .iter()
+                .filter(|c| c.arrival_s() >= from_s && c.arrival_s() < to_s)
+                .map(|c| c.latency_ms())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let stats = LatencyStats::from_samples((1..=100).map(f64::from).collect());
+        assert!((stats.median_ms().unwrap() - 50.5).abs() < 1e-9);
+        assert!((stats.tail_ms().unwrap() - 90.1).abs() < 0.2);
+        assert!((stats.mean_ms().unwrap() - 50.5).abs() < 1e-9);
+        assert_eq!(stats.max_ms(), Some(100.0));
+        assert_eq!(stats.count(), 100);
+    }
+
+    #[test]
+    fn empty_stats_return_none() {
+        let stats = LatencyStats::from_samples(vec![]);
+        assert!(stats.is_empty());
+        assert!(stats.median_ms().is_none());
+        assert!(stats.mean_ms().is_none());
+        assert!(stats.max_ms().is_none());
+    }
+
+    #[test]
+    fn utilization_buckets_and_caps() {
+        let mut u = NodeUtilization::new("pixel-00", 8, 10);
+        u.add_user(2.3, 4.0);
+        u.add_sys(2.7, 0.8);
+        assert!((u.user_percent(2) - 50.0).abs() < 1e-9);
+        assert!((u.sys_percent(2) - 10.0).abs() < 1e-9);
+        assert!((u.total_percent(2) - 60.0).abs() < 1e-9);
+        assert_eq!(u.total_percent(3), 0.0);
+        // Overflow caps at 100 %.
+        u.add_user(5.0, 100.0);
+        assert_eq!(u.total_percent(5), 100.0);
+        // Out-of-range samples clamp to the last bucket.
+        u.add_user(99.0, 1.0);
+        assert!(u.user_percent(9) > 0.0);
+        assert!((u.mean_percent_between(2, 3) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_metrics_slicing() {
+        let completions = vec![
+            CompletedRequest::new(0.5, 10.0),
+            CompletedRequest::new(1.5, 20.0),
+            CompletedRequest::new(2.5, 30.0),
+        ];
+        let metrics = RunMetrics::new(3.0, 5, completions, vec![]);
+        assert_eq!(metrics.offered(), 5);
+        assert_eq!(metrics.latency_stats().count(), 3);
+        let sliced = metrics.latency_stats_between(1.0, 3.0);
+        assert_eq!(sliced.count(), 2);
+        assert!((sliced.median_ms().unwrap() - 25.0).abs() < 1e-9);
+    }
+}

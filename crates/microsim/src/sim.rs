@@ -1,0 +1,658 @@
+//! The discrete-event simulation engine.
+//!
+//! Requests arrive as an open-loop Poisson process, traverse their request
+//! type's stages, and contend for three kinds of resources:
+//!
+//! * **Node CPUs** — each node is a multi-server FIFO queue of
+//!   `cores` workers; a call's service time is its reference-core cost
+//!   divided by the node's per-core speed, plus a small per-RPC system
+//!   overhead.
+//! * **The shared wireless channel** — on the phone cloudlet every
+//!   inter-node and client message serialises through one WiFi medium of
+//!   limited goodput.
+//! * **The colocated load generator** — on the single-instance EC2
+//!   deployments the client runs on the same machine with a small worker
+//!   pool, so request types with expensive client-side work (composing
+//!   posts) are throttled by it, as in the paper's methodology.
+//!
+//! The engine processes stage events in global time order and assigns
+//! resources greedily (earliest-available worker), which is an accurate
+//! FIFO approximation at the sub-millisecond service times involved.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::app::Application;
+use crate::metrics::{CompletedRequest, NodeUtilization, RunMetrics};
+use crate::network::NetworkModel;
+use crate::node::NodeSpec;
+use crate::placement::Placement;
+
+/// Per-RPC system (network-stack) overhead, reference-core milliseconds.
+const RPC_SYS_OVERHEAD_MS: f64 = 0.05;
+
+/// One phase of offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    qps: f64,
+    duration_s: f64,
+    request_type: Option<String>,
+}
+
+impl Phase {
+    /// Creates a phase offering `qps` requests per second for
+    /// `duration_s` seconds. `request_type` restricts the phase to a single
+    /// request type; `None` uses the application's weighted mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or the duration is not positive.
+    #[must_use]
+    pub fn new(qps: f64, duration_s: f64, request_type: Option<&str>) -> Self {
+        assert!(qps >= 0.0, "offered load cannot be negative");
+        assert!(duration_s > 0.0, "phase duration must be positive");
+        Self {
+            qps,
+            duration_s,
+            request_type: request_type.map(str::to_owned),
+        }
+    }
+
+    /// An idle phase (no arrivals).
+    #[must_use]
+    pub fn idle(duration_s: f64) -> Self {
+        Self::new(0.0, duration_s, None)
+    }
+
+    /// Offered load in requests per second.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        self.qps
+    }
+
+    /// Phase duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Request type restriction, if any.
+    #[must_use]
+    pub fn request_type(&self) -> Option<&str> {
+        self.request_type.as_deref()
+    }
+}
+
+/// A workload: one or more phases of offered load plus the random seed for
+/// arrival times and mix sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    phases: Vec<Phase>,
+    seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload from explicit phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no phases.
+    #[must_use]
+    pub fn phased(phases: Vec<Phase>, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "a workload needs at least one phase");
+        Self { phases, seed }
+    }
+
+    /// A single steady phase.
+    #[must_use]
+    pub fn steady(qps: f64, duration_s: f64, request_type: Option<&str>, seed: u64) -> Self {
+        Self::phased(vec![Phase::new(qps, duration_s, request_type)], seed)
+    }
+
+    /// The phases of the workload.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total duration across phases, seconds.
+    #[must_use]
+    pub fn total_duration_s(&self) -> f64 {
+        self.phases.iter().map(Phase::duration_s).sum()
+    }
+
+    /// The random seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Errors raised when assembling a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The placement does not cover every service of the application.
+    IncompletePlacement,
+    /// The cluster has no nodes.
+    NoNodes,
+    /// A phase requested a request type the application does not define.
+    UnknownRequestType(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IncompletePlacement => f.write_str("placement does not cover every service"),
+            SimError::NoNodes => f.write_str("the cluster has no nodes"),
+            SimError::UnknownRequestType(name) => write!(f, "unknown request type {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A ready-to-run simulation of one application on one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Simulation {
+    app: Application,
+    nodes: Vec<NodeSpec>,
+    placement: Placement,
+    network: NetworkModel,
+    colocated_client: bool,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the cluster is empty or the placement does
+    /// not cover the application.
+    pub fn new(
+        app: Application,
+        nodes: Vec<NodeSpec>,
+        placement: Placement,
+        network: NetworkModel,
+    ) -> Result<Self, SimError> {
+        if nodes.is_empty() {
+            return Err(SimError::NoNodes);
+        }
+        if !placement.covers(&app) {
+            return Err(SimError::IncompletePlacement);
+        }
+        Ok(Self {
+            app,
+            nodes,
+            placement,
+            network,
+            colocated_client: false,
+        })
+    }
+
+    /// Runs the load generator on node 0 of the deployment (the paper's EC2
+    /// methodology) instead of on an external machine.
+    #[must_use]
+    pub fn with_colocated_client(mut self, colocated: bool) -> Self {
+        self.colocated_client = colocated;
+        self
+    }
+
+    /// The application being simulated.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The cluster nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The service placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Runs the workload and returns the collected metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequestType`] if a phase names a request
+    /// type the application does not define.
+    pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
+        let type_index = |name: &str| -> Result<usize, SimError> {
+            self.app
+                .request_types()
+                .iter()
+                .position(|r| r.name() == name)
+                .ok_or_else(|| SimError::UnknownRequestType(name.to_owned()))
+        };
+
+        // Generate arrivals phase by phase.
+        let mut rng = StdRng::seed_from_u64(workload.seed());
+        let weights: Vec<f64> = self.app.request_types().iter().map(|r| r.weight()).collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut arrivals: Vec<(f64, usize)> = Vec::new();
+        let mut phase_start = 0.0;
+        for phase in workload.phases() {
+            let fixed_type = match phase.request_type() {
+                Some(name) => Some(type_index(name)?),
+                None => None,
+            };
+            if phase.qps() > 0.0 {
+                let mut t = phase_start;
+                loop {
+                    let u: f64 = rng.random::<f64>().max(1e-12);
+                    t += -u.ln() / phase.qps();
+                    if t >= phase_start + phase.duration_s() {
+                        break;
+                    }
+                    let type_idx = fixed_type.unwrap_or_else(|| {
+                        let mut pick = rng.random::<f64>() * total_weight;
+                        for (i, w) in weights.iter().enumerate() {
+                            if pick < *w {
+                                return i;
+                            }
+                            pick -= w;
+                        }
+                        weights.len() - 1
+                    });
+                    arrivals.push((t, type_idx));
+                }
+            }
+            phase_start += phase.duration_s();
+        }
+        let total_duration = workload.total_duration_s();
+
+        // Resource state.
+        let mut core_avail: Vec<Vec<f64>> =
+            self.nodes.iter().map(|n| vec![0.0; n.cores() as usize]).collect();
+        let buckets = total_duration.ceil() as usize + 2;
+        let mut utilization: Vec<NodeUtilization> = self
+            .nodes
+            .iter()
+            .map(|n| NodeUtilization::new(n.name(), n.cores(), buckets))
+            .collect();
+        let mut client_avail: Vec<f64> = vec![0.0; self.app.client_workers() as usize];
+        let mut link_avail: f64 = 0.0;
+
+        let frontend_node = self
+            .placement
+            .node_of(self.app.frontend())
+            .expect("placement covers the frontend");
+
+        // Event queue. Every resource reservation (client worker, shared
+        // WiFi channel, node core) happens at event-pop time, so each
+        // resource is served in true timestamp order.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Step {
+            /// Request arrives at the (possibly colocated) load generator.
+            Arrive,
+            /// The frontend fans out the calls of a stage.
+            Dispatch { stage: usize },
+            /// A call's request message has reached its service's node.
+            CallArrived { stage: usize, call: usize },
+            /// A call's CPU work has finished; send the reply.
+            CallFinished { stage: usize, call: usize },
+            /// All stages are done; return the response to the client.
+            Complete,
+        }
+
+        #[derive(PartialEq)]
+        struct Event {
+            time: f64,
+            seq: u64,
+            request: usize,
+            step: Step,
+        }
+        impl Eq for Event {}
+        impl Ord for Event {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse order: the binary heap is a max-heap, we want the
+                // earliest event first.
+                other
+                    .time
+                    .total_cmp(&self.time)
+                    .then_with(|| other.seq.cmp(&self.seq))
+            }
+        }
+        impl PartialOrd for Event {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        struct RequestState {
+            arrival: f64,
+            type_idx: usize,
+            outstanding_calls: usize,
+            stage_end: f64,
+        }
+
+        let mut events: BinaryHeap<Event> = BinaryHeap::with_capacity(arrivals.len() * 4);
+        let mut seq = 0u64;
+        let mut requests: Vec<RequestState> = Vec::with_capacity(arrivals.len());
+        for (t, type_idx) in &arrivals {
+            requests.push(RequestState {
+                arrival: *t,
+                type_idx: *type_idx,
+                outstanding_calls: 0,
+                stage_end: *t,
+            });
+            events.push(Event {
+                time: *t,
+                seq,
+                request: requests.len() - 1,
+                step: Step::Arrive,
+            });
+            seq += 1;
+        }
+
+        let mut completions: Vec<CompletedRequest> = Vec::with_capacity(arrivals.len());
+
+        // Sends a message at `now` (the current event time). Cross-node and
+        // client messages serialise through the shared channel, if any.
+        let send = |link_avail: &mut f64, now: f64, same_node: bool, bytes: f64, client_hop: bool| -> f64 {
+            let latency = if client_hop {
+                self.network.client_latency_ms() / 1_000.0
+            } else {
+                self.network.hop_latency_secs(same_node)
+            };
+            if same_node && !client_hop {
+                return now + latency;
+            }
+            let tx = self.network.transmission_secs(bytes);
+            if tx > 0.0 {
+                let start = now.max(*link_avail);
+                *link_avail = start + tx;
+                start + tx + latency
+            } else {
+                now + latency
+            }
+        };
+
+        while let Some(event) = events.pop() {
+            let now = event.time;
+            let type_idx = requests[event.request].type_idx;
+            let request_type = &self.app.request_types()[type_idx];
+            let mut push = |time: f64, request: usize, step: Step, seq: &mut u64| {
+                events.push(Event {
+                    time,
+                    seq: *seq,
+                    request,
+                    step,
+                });
+                *seq += 1;
+            };
+
+            match event.step {
+                Step::Arrive => {
+                    let ready = if self.colocated_client {
+                        let cost =
+                            request_type.client_cost_ms() / 1_000.0 / self.nodes[0].core_speed();
+                        let (best, _) = client_avail
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("client pool is non-empty");
+                        let start = now.max(client_avail[best]);
+                        client_avail[best] = start + cost;
+                        start + cost + self.network.hop_latency_secs(true)
+                    } else {
+                        send(&mut link_avail, now, false, 500.0, true)
+                    };
+                    push(ready, event.request, Step::Dispatch { stage: 0 }, &mut seq);
+                }
+                Step::Dispatch { stage } => {
+                    let calls = request_type.stages()[stage].calls();
+                    requests[event.request].outstanding_calls = calls.len();
+                    requests[event.request].stage_end = now;
+                    for (call_idx, call) in calls.iter().enumerate() {
+                        let target = self
+                            .placement
+                            .node_of(call.service())
+                            .expect("placement covers every service");
+                        let same_node = target == frontend_node;
+                        let delivered =
+                            send(&mut link_avail, now, same_node, call.request_bytes(), false);
+                        push(
+                            delivered,
+                            event.request,
+                            Step::CallArrived { stage, call: call_idx },
+                            &mut seq,
+                        );
+                    }
+                }
+                Step::CallArrived { stage, call } => {
+                    let call_spec = &request_type.stages()[stage].calls()[call];
+                    let target = self
+                        .placement
+                        .node_of(call_spec.service())
+                        .expect("placement covers every service");
+                    let node = &self.nodes[target];
+                    let user_secs = call_spec.cpu_ms() / 1_000.0 / node.core_speed();
+                    let sys_secs = RPC_SYS_OVERHEAD_MS / 1_000.0 / node.core_speed();
+                    let cores = &mut core_avail[target];
+                    let (best, _) = cores
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                        .expect("node has at least one core");
+                    let start = now.max(cores[best]);
+                    let finish = start + user_secs + sys_secs;
+                    cores[best] = finish;
+                    utilization[target].add_user(start, user_secs);
+                    utilization[target].add_sys(start, sys_secs);
+                    push(
+                        finish,
+                        event.request,
+                        Step::CallFinished { stage, call },
+                        &mut seq,
+                    );
+                }
+                Step::CallFinished { stage, call } => {
+                    let call_spec = &request_type.stages()[stage].calls()[call];
+                    let target = self
+                        .placement
+                        .node_of(call_spec.service())
+                        .expect("placement covers every service");
+                    let same_node = target == frontend_node;
+                    let replied =
+                        send(&mut link_avail, now, same_node, call_spec.response_bytes(), false);
+                    let state = &mut requests[event.request];
+                    if replied > state.stage_end {
+                        state.stage_end = replied;
+                    }
+                    state.outstanding_calls -= 1;
+                    if state.outstanding_calls == 0 {
+                        let next_time = state.stage_end;
+                        let next_step = if stage + 1 < request_type.stages().len() {
+                            Step::Dispatch { stage: stage + 1 }
+                        } else {
+                            Step::Complete
+                        };
+                        push(next_time, event.request, next_step, &mut seq);
+                    }
+                }
+                Step::Complete => {
+                    let done = if self.colocated_client {
+                        now + self.network.hop_latency_secs(true)
+                    } else {
+                        send(
+                            &mut link_avail,
+                            now,
+                            false,
+                            request_type.response_to_client_bytes(),
+                            true,
+                        )
+                    };
+                    let arrival = requests[event.request].arrival;
+                    completions.push(CompletedRequest::new(arrival, (done - arrival) * 1_000.0));
+                }
+            }
+        }
+
+        Ok(RunMetrics::new(
+            total_duration,
+            arrivals.len(),
+            completions,
+            utilization,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{hotel_reservation, social_network, SN_COMPOSE_POST, SN_READ_HOME_TIMELINE};
+    use crate::node::{ten_pixel_cloudlet, NodeSpec};
+
+    fn phone_sim(app: Application) -> Simulation {
+        let nodes = ten_pixel_cloudlet();
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+    }
+
+    fn c5_sim(app: Application, vcpus: u32, memory: f64) -> Simulation {
+        let nodes = vec![NodeSpec::c5("c5", vcpus, memory)];
+        let placement = Placement::single_node(&app);
+        Simulation::new(app, nodes, placement, NetworkModel::single_node_loopback())
+            .unwrap()
+            .with_colocated_client(true)
+    }
+
+    #[test]
+    fn light_load_completes_everything_with_low_latency() {
+        let sim = phone_sim(hotel_reservation());
+        let metrics = sim
+            .run(&Workload::steady(200.0, 5.0, None, 1))
+            .unwrap();
+        assert_eq!(metrics.offered(), metrics.completions().len());
+        let stats = metrics.latency_stats();
+        assert!(stats.median_ms().unwrap() < 80.0, "median {:?}", stats.median_ms());
+        assert!(stats.tail_ms().unwrap() < 150.0, "tail {:?}", stats.tail_ms());
+    }
+
+    #[test]
+    fn latency_grows_with_offered_load() {
+        let sim = phone_sim(hotel_reservation());
+        let light = sim.run(&Workload::steady(500.0, 4.0, None, 2)).unwrap();
+        let heavy = sim.run(&Workload::steady(4_500.0, 4.0, None, 2)).unwrap();
+        let light_p50 = light.latency_stats_between(1.0, 4.0).median_ms().unwrap();
+        let heavy_p50 = heavy.latency_stats_between(1.0, 4.0).median_ms().unwrap();
+        assert!(heavy_p50 > light_p50 * 2.0, "light {light_p50} heavy {heavy_p50}");
+    }
+
+    #[test]
+    fn single_node_has_lower_base_latency_than_the_cloudlet() {
+        let app = social_network();
+        let phones = phone_sim(app.clone());
+        let c5 = c5_sim(app, 36, 72.0);
+        let workload = Workload::steady(300.0, 4.0, Some(SN_READ_HOME_TIMELINE), 3);
+        let phone_p50 = phones
+            .run(&workload)
+            .unwrap()
+            .latency_stats()
+            .median_ms()
+            .unwrap();
+        let c5_p50 = c5.run(&workload).unwrap().latency_stats().median_ms().unwrap();
+        assert!(
+            phone_p50 > c5_p50,
+            "phones should pay WiFi latency: {phone_p50} vs {c5_p50}"
+        );
+    }
+
+    #[test]
+    fn colocated_client_throttles_writes_on_the_single_node() {
+        let app = social_network();
+        let c5 = c5_sim(app, 36, 72.0);
+        // Well above the client-pool capacity of ~2,000 composed posts/s.
+        let overloaded = c5
+            .run(&Workload::steady(3_200.0, 4.0, Some(SN_COMPOSE_POST), 4))
+            .unwrap();
+        let tail = overloaded.latency_stats_between(2.0, 4.0).tail_ms().unwrap();
+        assert!(tail > 200.0, "writes past the client cap should queue: {tail}");
+        // The same offered load of reads is fine.
+        let reads = c5
+            .run(&Workload::steady(3_200.0, 4.0, Some(SN_READ_HOME_TIMELINE), 4))
+            .unwrap();
+        let read_tail = reads.latency_stats_between(2.0, 4.0).tail_ms().unwrap();
+        assert!(read_tail < 100.0, "reads should not hit the client cap: {read_tail}");
+    }
+
+    #[test]
+    fn utilization_is_recorded_on_busy_nodes() {
+        let sim = phone_sim(social_network());
+        let metrics = sim
+            .run(&Workload::steady(1_000.0, 4.0, Some(SN_COMPOSE_POST), 5))
+            .unwrap();
+        let means: Vec<f64> = metrics
+            .node_utilization()
+            .iter()
+            .map(|u| u.mean_percent_between(1, 4))
+            .collect();
+        let busiest = means.iter().copied().fold(0.0_f64, f64::max);
+        let quietest = means.iter().copied().fold(100.0_f64, f64::min);
+        assert!(busiest > 10.0, "some phone should be visibly busy, got {busiest:.1}%");
+        // Figure 8's observation: utilisation varies widely across phones.
+        assert!(
+            busiest > quietest * 2.0,
+            "imbalance expected: busiest {busiest:.1}% quietest {quietest:.1}%"
+        );
+    }
+
+    #[test]
+    fn idle_phases_produce_no_arrivals() {
+        let sim = phone_sim(hotel_reservation());
+        let workload = Workload::phased(
+            vec![Phase::idle(2.0), Phase::new(100.0, 2.0, None), Phase::idle(1.0)],
+            9,
+        );
+        let metrics = sim.run(&workload).unwrap();
+        assert!(metrics.offered() > 100 && metrics.offered() < 320);
+        assert!(metrics
+            .completions()
+            .iter()
+            .all(|c| c.arrival_s() >= 2.0 && c.arrival_s() < 4.0));
+        assert!((metrics.duration_s() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_request_type_is_an_error() {
+        let sim = phone_sim(hotel_reservation());
+        let err = sim
+            .run(&Workload::steady(10.0, 1.0, Some("no-such-request"), 0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownRequestType(_)));
+        assert!(err.to_string().contains("no-such-request"));
+    }
+
+    #[test]
+    fn incomplete_placement_is_rejected() {
+        let app = social_network();
+        let nodes = ten_pixel_cloudlet();
+        let partial = Placement::manual([("nginx-web-server", 0usize)], &nodes).unwrap();
+        let err = Simulation::new(app, nodes, partial, NetworkModel::phone_wifi()).unwrap_err();
+        assert_eq!(err, SimError::IncompletePlacement);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let sim = phone_sim(hotel_reservation());
+        let a = sim.run(&Workload::steady(400.0, 3.0, None, 77)).unwrap();
+        let b = sim.run(&Workload::steady(400.0, 3.0, None, 77)).unwrap();
+        assert_eq!(a.offered(), b.offered());
+        assert_eq!(
+            a.latency_stats().median_ms().unwrap(),
+            b.latency_stats().median_ms().unwrap()
+        );
+    }
+}

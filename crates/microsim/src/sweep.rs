@@ -1,0 +1,302 @@
+//! Throughput sweeps and saturation detection (Figure 7) and the two-phase
+//! utilisation scenario (Figure 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RunMetrics;
+use crate::sim::{Phase, SimError, Simulation, Workload};
+
+/// One point of a latency-versus-throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    qps: f64,
+    median_ms: f64,
+    tail_ms: f64,
+}
+
+impl CurvePoint {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(qps: f64, median_ms: f64, tail_ms: f64) -> Self {
+        Self {
+            qps,
+            median_ms,
+            tail_ms,
+        }
+    }
+
+    /// Offered load in requests per second.
+    #[must_use]
+    pub fn qps(self) -> f64 {
+        self.qps
+    }
+
+    /// Median (50th percentile) latency, ms.
+    #[must_use]
+    pub fn median_ms(self) -> f64 {
+        self.median_ms
+    }
+
+    /// Tail (90th percentile) latency, ms.
+    #[must_use]
+    pub fn tail_ms(self) -> f64 {
+        self.tail_ms
+    }
+}
+
+/// A labelled latency-versus-throughput curve (one line of Figure 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurve {
+    label: String,
+    points: Vec<CurvePoint>,
+}
+
+impl LatencyCurve {
+    /// Creates a curve.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<CurvePoint>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Curve label (deployment name).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The measured points, in offered-load order.
+    #[must_use]
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// The highest offered load whose median and tail latency stay under
+    /// the given bounds — the paper's "max throughput before the latencies
+    /// shoot up".
+    #[must_use]
+    pub fn max_sustainable_qps(&self, median_limit_ms: f64, tail_limit_ms: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.median_ms() <= median_limit_ms && p.tail_ms() <= tail_limit_ms)
+            .map(|p| p.qps())
+            .fold(None, |best: Option<f64>, q| Some(best.map_or(q, |b| b.max(q))))
+    }
+}
+
+/// Configuration of a throughput sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    qps_points: Vec<f64>,
+    duration_s: f64,
+    warmup_s: f64,
+    request_type: Option<String>,
+    seed: u64,
+}
+
+impl SweepConfig {
+    /// Creates a sweep over the given offered loads, measuring each for
+    /// `duration_s` seconds after a `warmup_s` warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load points are given, the duration is not positive or
+    /// the warm-up is negative.
+    #[must_use]
+    pub fn new(qps_points: Vec<f64>, duration_s: f64, warmup_s: f64) -> Self {
+        assert!(!qps_points.is_empty(), "a sweep needs at least one load point");
+        assert!(duration_s > 0.0, "measurement duration must be positive");
+        assert!(warmup_s >= 0.0, "warm-up cannot be negative");
+        Self {
+            qps_points,
+            duration_s,
+            warmup_s,
+            request_type: None,
+            seed: 42,
+        }
+    }
+
+    /// Restricts the sweep to a single request type.
+    #[must_use]
+    pub fn request_type(mut self, name: impl Into<String>) -> Self {
+        self.request_type = Some(name.into());
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The offered-load points.
+    #[must_use]
+    pub fn qps_points(&self) -> &[f64] {
+        &self.qps_points
+    }
+
+    /// Runs the sweep against a simulation and collects its latency curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (for example an unknown request type).
+    pub fn run(&self, label: impl Into<String>, sim: &Simulation) -> Result<LatencyCurve, SimError> {
+        let mut points = Vec::with_capacity(self.qps_points.len());
+        for &qps in &self.qps_points {
+            let workload = Workload::steady(
+                qps,
+                self.warmup_s + self.duration_s,
+                self.request_type.as_deref(),
+                self.seed,
+            );
+            let metrics = sim.run(&workload)?;
+            let stats =
+                metrics.latency_stats_between(self.warmup_s, self.warmup_s + self.duration_s);
+            points.push(CurvePoint::new(
+                qps,
+                stats.median_ms().unwrap_or(0.0),
+                stats.tail_ms().unwrap_or(0.0),
+            ));
+        }
+        Ok(LatencyCurve::new(label, points))
+    }
+}
+
+/// The Figure 8 scenario: idle, SocialNetwork reads, idle, SocialNetwork
+/// writes, idle.
+///
+/// The paper uses 120-second phases at 3,000 QPS (reads) and 3,500 QPS
+/// (writes); `scale` shrinks both the durations and, for quick tests, can be
+/// combined with lower rates by the caller.
+#[must_use]
+pub fn figure8_phases(
+    read_type: &str,
+    write_type: &str,
+    read_qps: f64,
+    write_qps: f64,
+    phase_seconds: f64,
+) -> Vec<Phase> {
+    vec![
+        Phase::idle(phase_seconds),
+        Phase::new(read_qps, phase_seconds, Some(read_type)),
+        Phase::idle(phase_seconds),
+        Phase::new(write_qps, phase_seconds, Some(write_type)),
+        Phase::idle(phase_seconds),
+    ]
+}
+
+/// Convenience: runs the Figure 8 scenario and returns the metrics.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_figure8(
+    sim: &Simulation,
+    read_type: &str,
+    write_type: &str,
+    read_qps: f64,
+    write_qps: f64,
+    phase_seconds: f64,
+    seed: u64,
+) -> Result<RunMetrics, SimError> {
+    let workload = Workload::phased(
+        figure8_phases(read_type, write_type, read_qps, write_qps, phase_seconds),
+        seed,
+    );
+    sim.run(&workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{social_network, SN_COMPOSE_POST, SN_READ_HOME_TIMELINE};
+    use crate::network::NetworkModel;
+    use crate::node::ten_pixel_cloudlet;
+    use crate::placement::Placement;
+
+    fn phone_sim() -> Simulation {
+        let app = social_network();
+        let nodes = ten_pixel_cloudlet();
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let sim = phone_sim();
+        let curve = SweepConfig::new(vec![300.0, 900.0], 2.0, 1.0)
+            .request_type(SN_COMPOSE_POST)
+            .run("phones", &sim)
+            .unwrap();
+        assert_eq!(curve.points().len(), 2);
+        assert_eq!(curve.label(), "phones");
+        assert!(curve.points()[0].median_ms() > 0.0);
+    }
+
+    #[test]
+    fn tail_is_at_least_median_and_latency_rises_with_load() {
+        let sim = phone_sim();
+        let curve = SweepConfig::new(vec![500.0, 4_000.0], 2.5, 1.0)
+            .request_type(SN_COMPOSE_POST)
+            .run("phones", &sim)
+            .unwrap();
+        for p in curve.points() {
+            assert!(p.tail_ms() >= p.median_ms());
+        }
+        assert!(curve.points()[1].tail_ms() > curve.points()[0].tail_ms());
+    }
+
+    #[test]
+    fn max_sustainable_qps_finds_the_knee() {
+        let curve = LatencyCurve::new(
+            "synthetic",
+            vec![
+                CurvePoint::new(1_000.0, 20.0, 40.0),
+                CurvePoint::new(2_000.0, 25.0, 60.0),
+                CurvePoint::new(3_000.0, 45.0, 95.0),
+                CurvePoint::new(4_000.0, 400.0, 900.0),
+            ],
+        );
+        assert_eq!(curve.max_sustainable_qps(50.0, 100.0), Some(3_000.0));
+        assert_eq!(curve.max_sustainable_qps(10.0, 10.0), None);
+    }
+
+    #[test]
+    fn figure8_scenario_shapes_utilization_by_phase() {
+        let sim = phone_sim();
+        let metrics = run_figure8(
+            &sim,
+            SN_READ_HOME_TIMELINE,
+            SN_COMPOSE_POST,
+            600.0,
+            700.0,
+            4.0,
+            3,
+        )
+        .unwrap();
+        // Mean utilisation across phones should be higher during the two
+        // loaded phases than during the idle phases.
+        let mean_between = |from: usize, to: usize| -> f64 {
+            let per_node: Vec<f64> = metrics
+                .node_utilization()
+                .iter()
+                .map(|u| u.mean_percent_between(from, to))
+                .collect();
+            per_node.iter().sum::<f64>() / per_node.len() as f64
+        };
+        let idle = mean_between(0, 4);
+        let read = mean_between(5, 8);
+        let write = mean_between(13, 16);
+        assert!(read > idle + 1.0, "read {read}% vs idle {idle}%");
+        assert!(write > idle + 1.0, "write {write}% vs idle {idle}%");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load point")]
+    fn empty_sweep_panics() {
+        let _ = SweepConfig::new(vec![], 1.0, 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Thermal substrate for the Junkyard Computing reproduction.
+//!
+//! Reproduces the paper's Section 4.1 thermal study without the physical
+//! Styrofoam box: a lumped-parameter model of phones exchanging heat with
+//! the enclosed air, firmware throttling and shutdown governors, the Eq. 9
+//! thermal-power estimate, and cooling (fan) sizing for larger cloudlets.
+//!
+//! * [`model`] — phone thermal models and the enclosure.
+//! * [`sim`] — the stress-test simulation behind Figure 3.
+//! * [`cooling`] — COTS fan sizing for cloudlet-scale clusters.
+//!
+//! # Example
+//!
+//! ```
+//! use junkyard_thermal::sim::StressTest;
+//! use junkyard_devices::power::LoadProfile;
+//!
+//! let timeline = StressTest::paper_setup(LoadProfile::full_load()).run();
+//! // Under sustained full load the Nexus 4s eventually protect themselves.
+//! assert!(timeline.shutdown_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cooling;
+pub mod model;
+pub mod sim;
+
+pub use cooling::{CoolingPlan, ServerFan};
+pub use model::{Enclosure, PhoneThermalModel};
+pub use sim::{PhoneTimeline, StressTest, TestPhone, ThermalTimeline};

@@ -1,0 +1,56 @@
+//! Carbon audit of a cloudlet design: build your own junkyard cluster and
+//! see where its lifetime carbon goes.
+//!
+//! This example designs a 54-phone Pixel 3A cloudlet (the paper's
+//! server-equivalent configuration), itemises its embodied carbon, applies
+//! smart charging, and prints the lifetime carbon breakdown and CCI against
+//! the new-server baseline.
+//!
+//! Run with: `cargo run --example carbon_audit`
+
+use junkyard::carbon::units::TimeSpan;
+use junkyard::cluster::presets;
+use junkyard::core::cluster_cci::cloudlet_calculator;
+use junkyard::devices::benchmark::Benchmark;
+use junkyard::devices::power::LoadProfile;
+use junkyard::grid::regime::PowerRegime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = LoadProfile::light_medium();
+    let pixel_cloudlet = presets::pixel_cloudlet();
+    let baseline = presets::poweredge_baseline();
+
+    println!("== Cloudlet design ==");
+    println!("{pixel_cloudlet}");
+    println!("  average power: {:.1}", pixel_cloudlet.average_power(&profile));
+    println!("  network: {}", pixel_cloudlet.network());
+    println!("  management nodes: {}", pixel_cloudlet.management_count());
+    println!("  purchase cost: ${:.0}", pixel_cloudlet.purchase_cost_usd().unwrap_or(0.0));
+    println!("\n== Embodied carbon bill (added hardware only; phones are reused) ==");
+    for item in pixel_cloudlet.embodied_bill().iter() {
+        println!("  {item}");
+    }
+    if let Some((per_round, pack_life)) = pixel_cloudlet.battery_schedule(&profile) {
+        println!(
+            "  battery replacements: {:.0} kgCO2e every {:.1} years",
+            per_round.kilograms(),
+            pack_life.years()
+        );
+    }
+
+    println!("\n== Lifetime CCI vs a new PowerEdge R740 (Dijkstra, California grid) ==");
+    let cloudlet_calc =
+        cloudlet_calculator(&pixel_cloudlet, Benchmark::Dijkstra, PowerRegime::CaliforniaMix);
+    let server_calc = cloudlet_calculator(&baseline, Benchmark::Dijkstra, PowerRegime::CaliforniaMix);
+    for years in [1.0, 2.0, 3.0, 5.0] {
+        let life = TimeSpan::from_years(years);
+        let cloudlet = cloudlet_calc.cci_at(life)?;
+        let server = server_calc.cci_at(life)?;
+        let breakdown = cloudlet_calc.breakdown_at(life);
+        println!(
+            "  {years:.0} years: cloudlet {cloudlet}   server {server}   ({:.1}x better; cloudlet carbon: {breakdown})",
+            server.ratio_to(cloudlet)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Serve a cloud microservice application from a box of old phones.
+//!
+//! Deploys the DeathStarBench HotelReservation application on the simulated
+//! ten-phone junkyard cloudlet and on a c5.9xlarge, sweeps the offered load,
+//! and reports latency, saturation and carbon per request.
+//!
+//! Run with: `cargo run --release --example cloudlet_serving`
+
+use junkyard::carbon::units::TimeSpan;
+use junkyard::core::cloudlet_study::{figure9_advantage, CloudletWorkload, Figure7Study};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = CloudletWorkload::HotelReservation;
+    println!("Sweeping {} on the phone cloudlet and EC2 baselines...\n", workload.label());
+
+    let result = Figure7Study::quick()
+        .qps_points(vec![1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0])
+        .run(workload)?;
+
+    println!("{}", result.chart(false));
+    println!("{}", result.chart(true));
+
+    println!("Max sustainable throughput (median <= 100 ms, tail <= 200 ms):");
+    for (deployment, qps) in result.saturation_points() {
+        match qps {
+            Some(q) => println!("  {deployment:12} {q:>6.0} requests/sec"),
+            None => println!("  {deployment:12} saturated below the first load point"),
+        }
+    }
+
+    let advantage = figure9_advantage(workload, TimeSpan::from_years(3.0))?;
+    println!(
+        "\nAfter three years of continuous service the phone cloudlet is {advantage:.1}x more \
+         carbon-efficient per request than the c5.9xlarge."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: is it worth reusing an old phone instead of buying a server?
+//!
+//! Builds CCI calculators for a reused Pixel 3A and a new PowerEdge R740,
+//! compares their carbon-per-operation over a five-year horizon and prints
+//! the crossover analysis.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use junkyard::carbon::cci::crossover_months;
+use junkyard::carbon::units::{CarbonIntensity, TimeSpan};
+use junkyard::core::single_device::device_calculator;
+use junkyard::devices::benchmark::Benchmark;
+use junkyard::devices::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = CarbonIntensity::from_grams_per_kwh(257.0); // California mix
+    let pixel = catalog::pixel_3a();
+    let server = catalog::poweredge_r740();
+
+    println!("Junkyard Computing quickstart — carbon per unit of work\n");
+    for benchmark in [Benchmark::Sgemm, Benchmark::PdfRender, Benchmark::Dijkstra] {
+        let reused_phone = device_calculator(&pixel, benchmark, grid, true);
+        let new_server = device_calculator(&server, benchmark, grid, false);
+        println!("{benchmark} ({} per second):", benchmark.op_unit());
+        for months in [6.0, 12.0, 36.0, 60.0] {
+            let life = TimeSpan::from_months(months);
+            let phone_cci = reused_phone.cci_at(life)?;
+            let server_cci = new_server.cci_at(life)?;
+            println!(
+                "  {months:>4.0} months: reused Pixel 3A {:>10.4}   new PowerEdge {:>10.4}   (server/phone = {:.1}x)",
+                phone_cci,
+                server_cci,
+                server_cci.ratio_to(phone_cci)
+            );
+        }
+        match crossover_months(&reused_phone, &new_server, 120)? {
+            Some(m) => println!("  -> the new server catches up after {m} months\n"),
+            None => println!("  -> the reused phone stays ahead for the whole 10-year horizon\n"),
+        }
+    }
+    Ok(())
+}

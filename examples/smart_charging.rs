@@ -1,0 +1,40 @@
+//! Smart charging: shift a phone cluster's wall-power draw to the hours
+//! when the California grid is greenest.
+//!
+//! Reproduces the Figure 4 experiment on a synthetic CAISO month and prints
+//! the per-device savings plus a representative day's charging windows.
+//!
+//! Run with: `cargo run --example smart_charging`
+
+use junkyard::core::charging_study::ChargingStudy;
+
+fn main() {
+    let result = ChargingStudy::new(2021).run();
+
+    println!("{}", result.summary_table());
+    println!(
+        "synthetic CAISO month: mean {:.0}, min {:.0}, max {:.0}\n",
+        result.trace().mean(),
+        result.trace().min(),
+        result.trace().max()
+    );
+
+    for (index, outcome) in result.outcomes().iter().enumerate() {
+        println!("{outcome}");
+        let chart = result.representative_day_chart(index);
+        let charging_hours: Vec<String> = chart
+            .line("when to charge")
+            .expect("chart has a charging line")
+            .points()
+            .iter()
+            .filter(|(_, on)| *on > 0.0)
+            .map(|(h, _)| format!("{h:.1}h"))
+            .collect();
+        println!(
+            "  charges during {} five-minute slots: {}{}",
+            charging_hours.len(),
+            charging_hours.iter().take(12).cloned().collect::<Vec<_>>().join(", "),
+            if charging_hours.len() > 12 { ", ..." } else { "" }
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: exercise the full pipeline from device
+//! catalog through the carbon metric, cluster design, grid traces and the
+//! microservice simulator, the way the experiment binaries do.
+
+use junkyard::carbon::units::{CarbonIntensity, TimeSpan};
+use junkyard::cluster::presets;
+use junkyard::core::charging_study::ChargingStudy;
+use junkyard::core::cloudlet_study::{figure9_advantage, CloudletWorkload};
+use junkyard::core::cluster_cci::{cloudlet_calculator, ClusterCciStudy};
+use junkyard::core::datacenter_study::DatacenterStudy;
+use junkyard::core::energy_mix::energy_mix_chart;
+use junkyard::core::single_device::{device_calculator, SingleDeviceStudy};
+use junkyard::core::tables;
+use junkyard::core::thermal_study::run_thermal_study;
+use junkyard::devices::benchmark::Benchmark;
+use junkyard::devices::catalog;
+use junkyard::grid::regime::PowerRegime;
+
+#[test]
+fn paper_headline_claim_reused_phones_beat_new_servers() {
+    // Contribution (1)/(2): for every benchmark the paper plots, the reused
+    // Pixel 3A has lower CCI than a freshly manufactured PowerEdge R740 over
+    // a five-year horizon on the California grid.
+    let grid = CarbonIntensity::from_grams_per_kwh(257.0);
+    for benchmark in Benchmark::CCI_FIGURES {
+        let phone = device_calculator(&catalog::pixel_3a(), benchmark, grid, true);
+        let server = device_calculator(&catalog::poweredge_r740(), benchmark, grid, false);
+        for months in [6.0, 24.0, 60.0] {
+            let life = TimeSpan::from_months(months);
+            assert!(
+                phone.cci_at(life).unwrap().grams_per_op()
+                    < server.cci_at(life).unwrap().grams_per_op(),
+                "{benchmark} at {months} months"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure2_and_figure5_charts_are_consistent() {
+    // The cluster-level chart must preserve the single-device ordering for
+    // the Pixel cloudlet vs the PowerEdge baseline.
+    let single = SingleDeviceStudy::new(Benchmark::PdfRender).run_paper_devices();
+    let cluster = ClusterCciStudy::new(Benchmark::PdfRender, PowerRegime::CaliforniaMix)
+        .months(vec![12.0, 36.0, 60.0])
+        .run_paper_cloudlets()
+        .unwrap();
+    let single_better = single.line("Pixel 3A").unwrap().final_value().unwrap()
+        < single.line("PowerEdge R740").unwrap().final_value().unwrap();
+    let cluster_better = cluster.line("Pixel 3A x54").unwrap().final_value().unwrap()
+        < cluster.line("PowerEdge R740").unwrap().final_value().unwrap();
+    assert_eq!(single_better, cluster_better);
+    assert!(single_better);
+}
+
+#[test]
+fn smart_charging_feeds_into_cluster_cci() {
+    // The smart-charging simulation (Figure 4) produces a saving in the same
+    // direction as the fixed 7% the cluster analysis assumes, and applying
+    // that saving lowers the cloudlet's CCI.
+    let outcome = ChargingStudy::new(3).days(8).run();
+    let pixel_savings = outcome.outcomes()[0].median_savings_percent();
+    assert!(pixel_savings > 0.0);
+
+    let with_sc = cloudlet_calculator(
+        &presets::pixel_cloudlet(),
+        Benchmark::Dijkstra,
+        PowerRegime::CaliforniaMix,
+    );
+    // Same hardware (plugs included) but without the charging-time shifting.
+    let without_shifting = cloudlet_calculator(
+        &presets::pixel_cloudlet().smart_charging_savings(0.0),
+        Benchmark::Dijkstra,
+        PowerRegime::CaliforniaMix,
+    );
+    let life = TimeSpan::from_years(1.0);
+    // Smart charging reduces operational carbon relative to the same
+    // hardware charging naively (at one year no battery replacement has
+    // happened yet, so the comparison is purely operational).
+    assert!(
+        with_sc.breakdown_at(life).compute().grams()
+            < without_shifting.breakdown_at(life).compute().grams()
+    );
+}
+
+#[test]
+fn thermal_study_supports_the_cloudlet_cooling_assumptions() {
+    // The fan count the Section 5.2 presets assume (1-2 COTS fans) follows
+    // from the thermal study's measured per-device thermal power.
+    let thermal = run_thermal_study();
+    let plan = thermal.cloudlet_cooling_plan();
+    assert!(plan.fans_needed() <= 2);
+    let pixel_cloudlet = presets::pixel_cloudlet();
+    let fans_in_preset: u32 = pixel_cloudlet
+        .peripherals()
+        .iter()
+        .filter(|p| p.label() == "server fan")
+        .map(|p| p.quantity())
+        .sum();
+    assert!(fans_in_preset >= 1);
+}
+
+#[test]
+fn datacenter_and_request_level_analyses_agree_on_the_winner() {
+    let datacenter = DatacenterStudy::new();
+    for benchmark in [Benchmark::Sgemm, Benchmark::Dijkstra] {
+        assert!(datacenter.smartphone_advantage(benchmark).unwrap() > 1.0);
+    }
+    for workload in CloudletWorkload::ALL {
+        let advantage = figure9_advantage(workload, TimeSpan::from_years(3.0)).unwrap();
+        assert!(advantage > 5.0, "{}: {advantage}", workload.label());
+    }
+}
+
+#[test]
+fn energy_mix_study_shows_manufacturing_dominates_on_clean_grids() {
+    let chart = energy_mix_chart().unwrap();
+    let server_california = chart.line("[Server] California").unwrap().final_value().unwrap();
+    let server_zero = chart.line("[Server] Z.Carbon").unwrap().final_value().unwrap();
+    // Even with perfectly clean energy the new server keeps a substantial
+    // CCI floor from manufacturing — the paper's takeaway (3).
+    assert!(server_zero > 0.0);
+    assert!(server_zero < server_california);
+    let floor_fraction = server_zero / server_california;
+    assert!(floor_fraction > 0.2, "manufacturing floor {floor_fraction}");
+}
+
+#[test]
+fn table_reports_render_for_every_paper_table() {
+    assert_eq!(tables::table1().rows().len(), 5);
+    assert_eq!(tables::table2().rows().len(), 5);
+    let (table3, rf) = tables::table3();
+    assert_eq!(table3.rows().len(), 7);
+    assert!(rf > 0.8);
+    assert_eq!(tables::figure1_charts().len(), 3);
+    assert_eq!(DatacenterStudy::new().cci_table().unwrap().rows().len(), 2);
+}

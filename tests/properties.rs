@@ -1,0 +1,123 @@
+//! Property-based tests on the core carbon-accounting invariants, spanning
+//! the carbon, devices and cluster crates.
+
+use junkyard::carbon::cci::CciCalculator;
+use junkyard::carbon::embodied::{battery_packs_needed, EmbodiedCarbon};
+use junkyard::carbon::ops::{OpUnit, Throughput};
+use junkyard::carbon::units::{CarbonIntensity, GramsCo2e, TimeSpan, Watts};
+use junkyard::devices::power::{LoadProfile, LoadSegment, PowerCurve};
+use junkyard::grid::synth::CaisoSynthesizer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CCI of a reused device is independent of lifetime (no embodied term to
+    /// amortise), while a new device's CCI never increases with lifetime.
+    #[test]
+    fn cci_monotonicity(
+        power in 0.5f64..500.0,
+        throughput in 0.1f64..1_000.0,
+        embodied_kg in 1.0f64..10_000.0,
+        months_a in 1.0f64..60.0,
+        extra in 1.0f64..60.0,
+    ) {
+        let grid = CarbonIntensity::from_grams_per_kwh(257.0);
+        let reused = CciCalculator::new(OpUnit::Gflop)
+            .embodied(EmbodiedCarbon::reused())
+            .average_power(Watts::new(power))
+            .grid(grid)
+            .throughput(Throughput::per_second(throughput, OpUnit::Gflop));
+        let fresh = reused.clone().embodied(EmbodiedCarbon::manufactured(
+            "new",
+            GramsCo2e::from_kilograms(embodied_kg),
+        ));
+        let short = TimeSpan::from_months(months_a);
+        let long = TimeSpan::from_months(months_a + extra);
+        let reused_short = reused.cci_at(short).unwrap().grams_per_op();
+        let reused_long = reused.cci_at(long).unwrap().grams_per_op();
+        prop_assert!((reused_short - reused_long).abs() <= reused_short * 1e-9);
+        let fresh_short = fresh.cci_at(short).unwrap().grams_per_op();
+        let fresh_long = fresh.cci_at(long).unwrap().grams_per_op();
+        prop_assert!(fresh_long <= fresh_short + 1e-12);
+        // And the new device is never better than the reused one on the same
+        // grid with the same operational profile.
+        prop_assert!(fresh_short >= reused_short);
+    }
+
+    /// The carbon breakdown's terms always sum to its total and scale
+    /// linearly with the grid's carbon intensity.
+    #[test]
+    fn breakdown_linearity(
+        power in 0.5f64..500.0,
+        intensity in 1.0f64..1_000.0,
+        months in 1.0f64..120.0,
+    ) {
+        let base = CciCalculator::new(OpUnit::Request)
+            .average_power(Watts::new(power))
+            .grid(CarbonIntensity::from_grams_per_kwh(intensity))
+            .throughput(Throughput::per_second(1.0, OpUnit::Request));
+        let doubled = base.clone().grid(CarbonIntensity::from_grams_per_kwh(intensity * 2.0));
+        let life = TimeSpan::from_months(months);
+        let b = base.breakdown_at(life);
+        prop_assert!((b.total().grams() - (b.manufacturing() + b.compute() + b.network()).grams()).abs() < 1e-9);
+        let d = doubled.breakdown_at(life);
+        prop_assert!((d.compute().grams() - 2.0 * b.compute().grams()).abs() < 1e-6);
+    }
+
+    /// Battery pack counting is monotone in lifetime and consistent with the
+    /// pack lifetime.
+    #[test]
+    fn battery_packs_monotone(
+        lifetime_months in 0.1f64..120.0,
+        pack_months in 1.0f64..48.0,
+    ) {
+        let packs = battery_packs_needed(
+            TimeSpan::from_months(lifetime_months),
+            TimeSpan::from_months(pack_months),
+        );
+        let more_packs = battery_packs_needed(
+            TimeSpan::from_months(lifetime_months * 2.0),
+            TimeSpan::from_months(pack_months),
+        );
+        prop_assert!(more_packs >= packs);
+        prop_assert!(f64::from(packs) >= lifetime_months / pack_months);
+        prop_assert!(f64::from(packs) <= lifetime_months / pack_months + 1.0);
+    }
+
+    /// Average power under any valid duty cycle lies between idle and full
+    /// load, and is monotone in the duty cycle's average load.
+    #[test]
+    fn duty_cycle_average_power_is_bounded(
+        idle in 0.1f64..10.0,
+        span10 in 0.0f64..20.0,
+        span50 in 0.0f64..50.0,
+        span100 in 0.0f64..100.0,
+        busy_fraction in 0.0f64..1.0,
+    ) {
+        let curve = PowerCurve::from_measurements(
+            Watts::new(idle),
+            Watts::new(idle + span10),
+            Watts::new(idle + span10 + span50),
+            Watts::new(idle + span10 + span50 + span100),
+        );
+        let profile = LoadProfile::new(vec![
+            LoadSegment::new(1.0, busy_fraction),
+            LoadSegment::new(0.0, 1.0 - busy_fraction),
+        ]).unwrap();
+        let avg = profile.average_power(curve);
+        prop_assert!(avg.value() >= curve.idle().value() - 1e-9);
+        prop_assert!(avg.value() <= curve.at_full_load().value() + 1e-9);
+    }
+
+    /// The synthetic CAISO generator always hits its calibrated mean and
+    /// keeps intensities physical, regardless of seed.
+    #[test]
+    fn caiso_synthesis_is_calibrated(seed in 0u64..1_000) {
+        let trace = CaisoSynthesizer::new(seed, 3).intensity_trace();
+        prop_assert!((trace.mean().grams_per_kwh() - 257.0).abs() < 2.0);
+        prop_assert!(trace.min().grams_per_kwh() > 0.0);
+        prop_assert!(trace.max().grams_per_kwh() < 600.0);
+        prop_assert_eq!(trace.day_count(), 3);
+    }
+}
