@@ -86,7 +86,8 @@ impl SmartChargePolicy {
         device_power: Watts,
         battery: BatterySpec,
     ) -> CarbonIntensity {
-        let fraction = self.required_charging_fraction(device_power, battery) * self.percentile_headroom;
+        let fraction =
+            self.required_charging_fraction(device_power, battery) * self.percentile_headroom;
         let percentile = (fraction * 100.0).clamp(1.0, 100.0);
         previous_day.percentile(percentile)
     }
@@ -101,7 +102,9 @@ impl SmartChargePolicy {
     ) -> ChargeDecision {
         if state_of_charge < self.min_charge_fraction {
             ChargeDecision::ChargeForBackup
-        } else if state_of_charge < 1.0 && current_intensity.grams_per_kwh() <= threshold.grams_per_kwh() {
+        } else if state_of_charge < 1.0
+            && current_intensity.grams_per_kwh() <= threshold.grams_per_kwh()
+        {
             ChargeDecision::ChargeGreen
         } else {
             ChargeDecision::RunFromBattery
@@ -150,8 +153,7 @@ mod tests {
     #[test]
     fn pixel_needs_to_charge_about_8_percent_of_the_time() {
         let policy = SmartChargePolicy::paper_default();
-        let fraction =
-            policy.required_charging_fraction(Watts::new(1.54), BatterySpec::pixel_3a());
+        let fraction = policy.required_charging_fraction(Watts::new(1.54), BatterySpec::pixel_3a());
         assert!(fraction > 0.06 && fraction < 0.10, "got {fraction}");
     }
 
@@ -159,10 +161,8 @@ mod tests {
     fn laptop_needs_a_larger_charging_share() {
         let policy = SmartChargePolicy::paper_default();
         let pixel = policy.required_charging_fraction(Watts::new(1.54), BatterySpec::pixel_3a());
-        let laptop = policy.required_charging_fraction(
-            Watts::new(11.47),
-            BatterySpec::thinkpad_x1_carbon_g3(),
-        );
+        let laptop = policy
+            .required_charging_fraction(Watts::new(11.47), BatterySpec::thinkpad_x1_carbon_g3());
         assert!(laptop > pixel);
     }
 
@@ -181,14 +181,23 @@ mod tests {
         let threshold = CarbonIntensity::from_grams_per_kwh(200.0);
         let clean = CarbonIntensity::from_grams_per_kwh(150.0);
         let dirty = CarbonIntensity::from_grams_per_kwh(300.0);
-        assert_eq!(policy.should_charge(0.5, clean, threshold), ChargeDecision::ChargeGreen);
-        assert_eq!(policy.should_charge(0.5, dirty, threshold), ChargeDecision::RunFromBattery);
+        assert_eq!(
+            policy.should_charge(0.5, clean, threshold),
+            ChargeDecision::ChargeGreen
+        );
+        assert_eq!(
+            policy.should_charge(0.5, dirty, threshold),
+            ChargeDecision::RunFromBattery
+        );
         assert_eq!(
             policy.should_charge(0.10, dirty, threshold),
             ChargeDecision::ChargeForBackup
         );
         // A full battery never green-charges.
-        assert_eq!(policy.should_charge(1.0, clean, threshold), ChargeDecision::RunFromBattery);
+        assert_eq!(
+            policy.should_charge(1.0, clean, threshold),
+            ChargeDecision::RunFromBattery
+        );
         assert!(ChargeDecision::ChargeGreen.is_charging());
         assert!(!ChargeDecision::RunFromBattery.is_charging());
     }

@@ -80,7 +80,10 @@ impl SmartChargingConfig {
     #[must_use]
     pub fn run(&self, trace: &IntensityTrace) -> SmartChargingOutcome {
         let day_count = trace.day_count();
-        assert!(day_count >= 1, "smart charging needs at least one full day of grid data");
+        assert!(
+            day_count >= 1,
+            "smart charging needs at least one full day of grid data"
+        );
         let step = trace.step();
         let mut battery = BatteryState::new_full(self.battery);
         let mut days = Vec::with_capacity(day_count);
@@ -90,9 +93,9 @@ impl SmartChargingConfig {
             let day_trace = trace.day(day_index).expect("day within trace");
             let stats = DayStats::from_trace(&day_trace);
             let threshold_source = previous_stats.as_ref().unwrap_or(&stats);
-            let threshold = self
-                .policy
-                .threshold(threshold_source, self.device_power, self.battery);
+            let threshold =
+                self.policy
+                    .threshold(threshold_source, self.device_power, self.battery);
 
             let mut baseline = GramsCo2e::ZERO;
             let mut smart = GramsCo2e::ZERO;
@@ -265,15 +268,12 @@ impl SmartChargingOutcome {
     #[must_use]
     pub fn representative_day(&self) -> Option<&DayOutcome> {
         let median = self.median_savings_percent();
-        self.days
-            .iter()
-            .skip(1)
-            .min_by(|a, b| {
-                (a.savings_percent() - median)
-                    .abs()
-                    .partial_cmp(&(b.savings_percent() - median).abs())
-                    .expect("savings are finite")
-            })
+        self.days.iter().skip(1).min_by(|a, b| {
+            (a.savings_percent() - median)
+                .abs()
+                .partial_cmp(&(b.savings_percent() - median).abs())
+                .expect("savings are finite")
+        })
     }
 }
 
@@ -299,7 +299,7 @@ pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]
@@ -354,7 +354,10 @@ mod tests {
         // Paper: the ThinkPad's higher power draw offsets its larger pack, so
         // its savings (4.03%) trail the Pixel's (7.22%).
         assert!(laptop < pixel, "laptop {laptop}% vs pixel {pixel}%");
-        assert!(laptop > 0.0, "laptop should still save something, got {laptop}%");
+        assert!(
+            laptop > 0.0,
+            "laptop should still save something, got {laptop}%"
+        );
     }
 
     #[test]
@@ -386,7 +389,11 @@ mod tests {
     fn charging_fraction_is_small_for_the_pixel() {
         let outcome = pixel_config().run(&month_trace());
         let day = outcome.representative_day().unwrap();
-        assert!(day.charging_fraction() < 0.35, "got {}", day.charging_fraction());
+        assert!(
+            day.charging_fraction() < 0.35,
+            "got {}",
+            day.charging_fraction()
+        );
         assert!(day.charging_fraction() > 0.02);
     }
 
@@ -396,8 +403,16 @@ mod tests {
         // much of it. Total smart-side wall carbon should stay within a
         // plausible band of the baseline (same energy, cleaner times).
         let outcome = pixel_config().run(&month_trace());
-        let baseline: f64 = outcome.days().iter().map(|d| d.baseline_carbon().grams()).sum();
-        let smart: f64 = outcome.days().iter().map(|d| d.smart_carbon().grams()).sum();
+        let baseline: f64 = outcome
+            .days()
+            .iter()
+            .map(|d| d.baseline_carbon().grams())
+            .sum();
+        let smart: f64 = outcome
+            .days()
+            .iter()
+            .map(|d| d.smart_carbon().grams())
+            .sum();
         assert!(smart > baseline * 0.5 && smart < baseline * 1.05);
     }
 
@@ -406,7 +421,10 @@ mod tests {
         let outcome = pixel_config().run(&month_trace());
         let median = outcome.median_savings_percent();
         let repr = outcome.representative_day().unwrap().savings_percent();
-        assert!((repr - median).abs() < 3.0, "repr {repr} vs median {median}");
+        assert!(
+            (repr - median).abs() < 3.0,
+            "repr {repr} vs median {median}"
+        );
     }
 
     #[test]

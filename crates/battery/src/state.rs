@@ -39,7 +39,10 @@ impl BatteryState {
     /// Panics if `fraction` lies outside `[0, 1]`.
     #[must_use]
     pub fn new_at(spec: BatterySpec, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "state of charge must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "state of charge must be in [0, 1]"
+        );
         Self {
             spec,
             charge: spec.energy() * fraction,
@@ -120,7 +123,7 @@ impl BatteryState {
         let headroom = self.spec.energy() - self.charge;
         let offered = self.spec.max_charge_power() * dt;
         let accepted = offered.min(headroom).max(Joules::ZERO);
-        self.charge = self.charge + accepted;
+        self.charge += accepted;
         accepted
     }
 }
@@ -188,7 +191,10 @@ mod tests {
         let mut b = pixel();
         // Simulate 2,500 full cycles of wear.
         for _ in 0..2_500 {
-            let _ = b.discharge(Watts::new(b.spec().energy().value()), TimeSpan::from_secs(1.0));
+            let _ = b.discharge(
+                Watts::new(b.spec().energy().value()),
+                TimeSpan::from_secs(1.0),
+            );
             let _ = b.charge_from_wall(TimeSpan::from_hours(1.0));
         }
         assert!(b.is_worn_out());

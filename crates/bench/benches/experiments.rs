@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 use junkyard_carbon::units::TimeSpan;
 use junkyard_core::charging_study::ChargingStudy;
-use junkyard_core::cloudlet_study::{figure8_utilization, figure9_chart, CloudletWorkload, Figure7Study};
+use junkyard_core::cloudlet_study::{
+    figure8_utilization, figure9_chart, CloudletWorkload, Figure7Study,
+};
 use junkyard_core::cluster_cci::ClusterCciStudy;
 use junkyard_core::cost_study::cost_table;
 use junkyard_core::datacenter_study::DatacenterStudy;
@@ -24,9 +26,13 @@ fn analytic_experiments(c: &mut Criterion) {
     group.bench_function("fig1_capability_trends", |b| {
         b.iter(|| black_box(tables::figure1_charts()))
     });
-    group.bench_function("table1_geekbench", |b| b.iter(|| black_box(tables::table1())));
+    group.bench_function("table1_geekbench", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
     group.bench_function("table2_power", |b| b.iter(|| black_box(tables::table2())));
-    group.bench_function("table3_components", |b| b.iter(|| black_box(tables::table3())));
+    group.bench_function("table3_components", |b| {
+        b.iter(|| black_box(tables::table3()))
+    });
     group.bench_function("fig2_single_device_cci", |b| {
         b.iter(|| black_box(SingleDeviceStudy::new(Benchmark::Dijkstra).run_paper_devices()))
     });
@@ -39,7 +45,9 @@ fn analytic_experiments(c: &mut Criterion) {
             )
         })
     });
-    group.bench_function("fig6_energy_mix", |b| b.iter(|| black_box(energy_mix_chart().unwrap())));
+    group.bench_function("fig6_energy_mix", |b| {
+        b.iter(|| black_box(energy_mix_chart().unwrap()))
+    });
     group.bench_function("table4_datacenter", |b| {
         b.iter(|| black_box(DatacenterStudy::new().cci_table().unwrap()))
     });
@@ -56,7 +64,9 @@ fn analytic_experiments(c: &mut Criterion) {
 fn simulation_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
-    group.bench_function("fig3_thermal_stress_test", |b| b.iter(|| black_box(run_thermal_study())));
+    group.bench_function("fig3_thermal_stress_test", |b| {
+        b.iter(|| black_box(run_thermal_study()))
+    });
     group.bench_function("fig4_smart_charging_week", |b| {
         b.iter(|| black_box(ChargingStudy::new(7).days(7).run()))
     });

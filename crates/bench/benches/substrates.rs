@@ -19,7 +19,10 @@ use junkyard_microsim::sim::{Simulation, Workload};
 
 fn cci_calculator(c: &mut Criterion) {
     let calc = CciCalculator::new(OpUnit::Gflop)
-        .embodied(EmbodiedCarbon::manufactured("server", GramsCo2e::from_kilograms(3_330.0)))
+        .embodied(EmbodiedCarbon::manufactured(
+            "server",
+            GramsCo2e::from_kilograms(3_330.0),
+        ))
         .average_power(Watts::new(308.7))
         .grid(CarbonIntensity::from_grams_per_kwh(257.0))
         .throughput(Throughput::per_second(631.0, OpUnit::Gflop))
@@ -47,10 +50,20 @@ fn placement_and_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_engine");
     group.sample_size(10);
     group.bench_function("social_network_write_1k_qps_2s", |b| {
-        b.iter(|| black_box(sim.run(&Workload::steady(1_000.0, 2.0, Some(SN_COMPOSE_POST), 42)).unwrap()))
+        b.iter(|| {
+            black_box(
+                sim.run(&Workload::steady(1_000.0, 2.0, Some(SN_COMPOSE_POST), 42))
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }
 
-criterion_group!(substrates, cci_calculator, grid_synthesis, placement_and_engine);
+criterion_group!(
+    substrates,
+    cci_calculator,
+    grid_synthesis,
+    placement_and_engine
+);
 criterion_main!(substrates);

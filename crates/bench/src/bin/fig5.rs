@@ -13,8 +13,9 @@ fn main() {
             emit_chart(&chart);
         }
     }
-    let crossover = nexus4_vs_new_server_crossover(Benchmark::Sgemm, PowerRegime::CaliforniaMix, 120)
-        .expect("calculators are well formed");
+    let crossover =
+        nexus4_vs_new_server_crossover(Benchmark::Sgemm, PowerRegime::CaliforniaMix, 120)
+            .expect("calculators are well formed");
     println!(
         "Nexus 4 cluster vs new PowerEdge crossover on SGEMM: {:?} months (paper: ~45)",
         crossover

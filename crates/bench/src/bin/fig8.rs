@@ -18,7 +18,11 @@ fn main() {
     let sim = build_deployment(DeploymentKind::PhoneCloudlet, &app, 11).expect("deployment builds");
     println!("Service placement across the ten phones:");
     for node in 0..sim.nodes().len() {
-        println!("  {}: {}", sim.nodes()[node].name(), sim.placement().services_on(node).join(", "));
+        println!(
+            "  {}: {}",
+            sim.nodes()[node].name(),
+            sim.placement().services_on(node).join(", ")
+        );
     }
     let metrics = figure8_utilization(read_qps, write_qps, phase_s, 7).expect("simulation runs");
     println!("\nPer-phone mean CPU utilisation (%) per phase (idle/read/idle/write/idle):");

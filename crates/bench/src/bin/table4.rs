@@ -10,7 +10,9 @@ fn main() {
     for benchmark in Benchmark::CCI_FIGURES {
         println!(
             "smartphone advantage on {benchmark}: {:.1}x",
-            study.smartphone_advantage(benchmark).expect("well-formed calculators")
+            study
+                .smartphone_advantage(benchmark)
+                .expect("well-formed calculators")
         );
     }
 }

@@ -1,8 +1,8 @@
 //! Shared helpers for the experiment binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` for the index) and prints it as plain text plus CSV.
-//! The simulation-backed figures (7–9) honour the `JUNKYARD_FULL=1`
+//! (see `README.md` for the index) and prints it as plain text plus CSV.
+//! The sweep-backed figures (7 and 8) honour the `JUNKYARD_FULL=1`
 //! environment variable to run at the paper's full scale instead of the
 //! default quick configuration.
 
@@ -14,7 +14,9 @@ use junkyard_core::report::{Chart, Table};
 /// `true` when the user asked for full-scale (paper-sized) experiment runs.
 #[must_use]
 pub fn full_scale() -> bool {
-    std::env::var("JUNKYARD_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("JUNKYARD_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a table as text and CSV.

@@ -143,7 +143,10 @@ impl Cci {
     /// Panics if the units differ.
     #[must_use]
     pub fn ratio_to(self, other: Cci) -> f64 {
-        assert_eq!(self.unit, other.unit, "cannot compare CCI across work units");
+        assert_eq!(
+            self.unit, other.unit,
+            "cannot compare CCI across work units"
+        );
         self.grams_per_op / other.grams_per_op
     }
 }
@@ -348,7 +351,11 @@ impl CciCalculator {
     /// Schedules periodic battery replacements (Eq. 10): each pack embodies
     /// `per_battery` and survives `battery_lifetime` of service.
     #[must_use]
-    pub fn battery_replacement(mut self, per_battery: GramsCo2e, battery_lifetime: TimeSpan) -> Self {
+    pub fn battery_replacement(
+        mut self,
+        per_battery: GramsCo2e,
+        battery_lifetime: TimeSpan,
+    ) -> Self {
         self.battery = Some(BatterySchedule {
             per_battery,
             battery_lifetime,
@@ -400,13 +407,14 @@ impl CciCalculator {
     pub fn breakdown_at(&self, lifetime: TimeSpan) -> CarbonBreakdown {
         let mut manufacturing = self.embodied.total();
         if let Some(battery) = self.battery {
-            manufacturing = manufacturing
-                + battery_replacement_carbon(battery.per_battery, lifetime, battery.battery_lifetime);
+            manufacturing +=
+                battery_replacement_carbon(battery.per_battery, lifetime, battery.battery_lifetime);
         }
         let compute = compute_carbon(self.grid, self.average_power, lifetime)
             * self.operational_scale
             * self.pue;
-        let network = self.network.carbon_over(self.grid, lifetime) * self.operational_scale * self.pue;
+        let network =
+            self.network.carbon_over(self.grid, lifetime) * self.operational_scale * self.pue;
         CarbonBreakdown::new(manufacturing, compute, network)
     }
 
@@ -617,7 +625,8 @@ mod tests {
 
     #[test]
     fn battery_replacement_adds_steps() {
-        let calc = phone().battery_replacement(GramsCo2e::from_kilograms(2.0), TimeSpan::from_years(2.3));
+        let calc =
+            phone().battery_replacement(GramsCo2e::from_kilograms(2.0), TimeSpan::from_years(2.3));
         let before = calc.breakdown_at(TimeSpan::from_years(2.0)).manufacturing();
         let after = calc.breakdown_at(TimeSpan::from_years(2.5)).manufacturing();
         assert_eq!(before, GramsCo2e::ZERO);
@@ -635,7 +644,10 @@ mod tests {
 
     #[test]
     fn zero_lifetime_is_no_work() {
-        assert_eq!(phone().cci_at(TimeSpan::ZERO).unwrap_err(), CciError::NoWork);
+        assert_eq!(
+            phone().cci_at(TimeSpan::ZERO).unwrap_err(),
+            CciError::NoWork
+        );
     }
 
     #[test]
@@ -669,7 +681,10 @@ mod tests {
             .grid(CarbonIntensity::from_grams_per_kwh(257.0))
             .throughput(Throughput::per_second(100.0, OpUnit::Gflop));
         let fresh = CciCalculator::new(OpUnit::Gflop)
-            .embodied(EmbodiedCarbon::manufactured("new", GramsCo2e::from_kilograms(900.0)))
+            .embodied(EmbodiedCarbon::manufactured(
+                "new",
+                GramsCo2e::from_kilograms(900.0),
+            ))
             .average_power(Watts::new(309.0))
             .grid(CarbonIntensity::from_grams_per_kwh(257.0))
             .throughput(Throughput::per_second(100.0, OpUnit::Gflop));

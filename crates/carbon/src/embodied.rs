@@ -110,14 +110,20 @@ impl EmbodiedCarbon {
 
     /// Adds a line item (builder style).
     #[must_use]
-    pub fn with_item(mut self, label: impl Into<String>, per_unit: GramsCo2e, quantity: f64) -> Self {
+    pub fn with_item(
+        mut self,
+        label: impl Into<String>,
+        per_unit: GramsCo2e,
+        quantity: f64,
+    ) -> Self {
         self.push_item(label, per_unit, quantity);
         self
     }
 
     /// Adds a line item in place.
     pub fn push_item(&mut self, label: impl Into<String>, per_unit: GramsCo2e, quantity: f64) {
-        self.items.push(EmbodiedItem::new(label, per_unit, quantity));
+        self.items
+            .push(EmbodiedItem::new(label, per_unit, quantity));
     }
 
     /// Merges another bill into this one (builder style).
@@ -153,7 +159,12 @@ impl EmbodiedCarbon {
 
 impl fmt::Display for EmbodiedCarbon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "C_M = {:.1} kgCO2e ({} items)", self.total().kilograms(), self.items.len())
+        write!(
+            f,
+            "C_M = {:.1} kgCO2e ({} items)",
+            self.total().kilograms(),
+            self.items.len()
+        )
     }
 }
 
@@ -210,7 +221,8 @@ mod tests {
 
     #[test]
     fn manufactured_bill_carries_total() {
-        let bill = EmbodiedCarbon::manufactured("PowerEdge R740", GramsCo2e::from_kilograms(3330.0));
+        let bill =
+            EmbodiedCarbon::manufactured("PowerEdge R740", GramsCo2e::from_kilograms(3330.0));
         assert!((bill.total().kilograms() - 3330.0).abs() < 1e-9);
         assert_eq!(bill.len(), 1);
     }
@@ -255,7 +267,10 @@ mod tests {
             TimeSpan::from_years(2.3),
         );
         assert_eq!(carbon, GramsCo2e::ZERO);
-        assert_eq!(battery_packs_needed(TimeSpan::ZERO, TimeSpan::from_years(1.0)), 0);
+        assert_eq!(
+            battery_packs_needed(TimeSpan::ZERO, TimeSpan::from_years(1.0)),
+            0
+        );
     }
 
     #[test]

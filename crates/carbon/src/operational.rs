@@ -25,7 +25,11 @@ pub fn compute_carbon(
 /// Energy consumed moving data at `rate` for `lifetime` with the given
 /// per-byte energy intensity.
 #[must_use]
-pub fn network_energy(rate: DataRate, energy_per_byte: EnergyPerByte, lifetime: TimeSpan) -> Joules {
+pub fn network_energy(
+    rate: DataRate,
+    energy_per_byte: EnergyPerByte,
+    lifetime: TimeSpan,
+) -> Joules {
     energy_per_byte.energy_for(rate.volume_over(lifetime))
 }
 
@@ -167,7 +171,11 @@ mod tests {
 
     #[test]
     fn zero_carbon_grid_has_no_operational_emissions() {
-        let c = compute_carbon(CarbonIntensity::ZERO, Watts::new(500.0), TimeSpan::from_years(5.0));
+        let c = compute_carbon(
+            CarbonIntensity::ZERO,
+            Watts::new(500.0),
+            TimeSpan::from_years(5.0),
+        );
         assert_eq!(c, GramsCo2e::ZERO);
     }
 }

@@ -132,7 +132,11 @@ pub struct UnitMismatch {
 
 impl fmt::Display for UnitMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "operation unit mismatch: {} vs {}", self.left, self.right)
+        write!(
+            f,
+            "operation unit mismatch: {} vs {}",
+            self.left, self.right
+        )
     }
 }
 

@@ -66,8 +66,14 @@ impl ReuseFactor {
 
     /// Adds a component (builder style).
     #[must_use]
-    pub fn with_component(mut self, name: impl Into<String>, embodied: GramsCo2e, reused: bool) -> Self {
-        self.components.push(ComponentUse::new(name, embodied, reused));
+    pub fn with_component(
+        mut self,
+        name: impl Into<String>,
+        embodied: GramsCo2e,
+        reused: bool,
+    ) -> Self {
+        self.components
+            .push(ComponentUse::new(name, embodied, reused));
         self
     }
 

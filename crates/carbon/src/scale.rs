@@ -130,7 +130,8 @@ impl FacilityModel {
         assert!(units > 0, "a facility needs at least one unit");
         let it = unit_power * units as f64;
         let cooling = it * self.cooling_per_watt;
-        let lighting = Watts::new(self.lighting_watts_per_rack_unit * rack_units_per_unit * units as f64);
+        let lighting =
+            Watts::new(self.lighting_watts_per_rack_unit * rack_units_per_unit * units as f64);
         Pue::new(it, cooling, lighting)
     }
 }
@@ -175,8 +176,16 @@ mod tests {
         let server = model.pue_for(170_000, Watts::new(308.0), 2.0);
         let phones = model.pue_for(170_000, Watts::new(84.0), 2.0);
         assert!(phones.value() > server.value());
-        assert!(server.value() > 1.25 && server.value() < 1.35, "server {}", server.value());
-        assert!(phones.value() > 1.28 && phones.value() < 1.40, "phones {}", phones.value());
+        assert!(
+            server.value() > 1.25 && server.value() < 1.35,
+            "server {}",
+            server.value()
+        );
+        assert!(
+            phones.value() > 1.28 && phones.value() < 1.40,
+            "phones {}",
+            phones.value()
+        );
     }
 
     #[test]

@@ -668,7 +668,10 @@ mod tests {
     #[test]
     fn display_includes_units() {
         assert_eq!(format!("{:.2}", GramsCo2e::new(1.234)), "1.23 gCO2e");
-        assert_eq!(format!("{:.0}", CarbonIntensity::from_grams_per_kwh(257.0)), "257 gCO2e/kWh");
+        assert_eq!(
+            format!("{:.0}", CarbonIntensity::from_grams_per_kwh(257.0)),
+            "257 gCO2e/kWh"
+        );
         assert!(format!("{}", Watts::new(2.5)).contains('W'));
     }
 

@@ -66,7 +66,10 @@ impl CloudletDesign {
     /// Panics if the fraction is outside `[0, 1)`.
     #[must_use]
     pub fn management_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..1.0).contains(&fraction), "management fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "management fraction must be in [0, 1)"
+        );
         self.management_fraction = fraction;
         self
     }
@@ -175,7 +178,11 @@ impl CloudletDesign {
     /// Aggregate duty-cycle-averaged throughput of the cloudlet on a
     /// benchmark, if the device has a score for it.
     #[must_use]
-    pub fn aggregate_throughput(&self, benchmark: Benchmark, profile: &LoadProfile) -> Option<Throughput> {
+    pub fn aggregate_throughput(
+        &self,
+        benchmark: Benchmark,
+        profile: &LoadProfile,
+    ) -> Option<Throughput> {
         self.device
             .average_throughput(benchmark, profile)
             .map(|t| t.scaled(f64::from(self.device_count)))
@@ -230,7 +237,13 @@ impl CloudletDesign {
 
 impl fmt::Display for CloudletDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} x {}", self.name, self.device_count, self.device.name())
+        write!(
+            f,
+            "{}: {} x {}",
+            self.name,
+            self.device_count,
+            self.device.name()
+        )
     }
 }
 
@@ -253,7 +266,10 @@ mod tests {
         let cloudlet = pixel_cloudlet();
         let power = cloudlet.average_power(&LoadProfile::light_medium());
         // 54 * 1.535 ≈ 83 W of phones, plus 27 W of plugs and 4 W of fan.
-        assert!(power.value() > 105.0 && power.value() < 125.0, "got {power}");
+        assert!(
+            power.value() > 105.0 && power.value() < 125.0,
+            "got {power}"
+        );
     }
 
     #[test]
@@ -278,7 +294,9 @@ mod tests {
         let single = catalog::pixel_3a()
             .average_throughput(Benchmark::Sgemm, &profile)
             .unwrap();
-        let total = cloudlet.aggregate_throughput(Benchmark::Sgemm, &profile).unwrap();
+        let total = cloudlet
+            .aggregate_throughput(Benchmark::Sgemm, &profile)
+            .unwrap();
         assert!((total.rate() / single.rate() - 54.0).abs() < 1e-9);
     }
 
@@ -291,7 +309,9 @@ mod tests {
         assert!(lifetime.years() > 2.0 && lifetime.years() < 2.7);
         // Servers have no batteries.
         let server = CloudletDesign::new("server", catalog::poweredge_r740(), 1);
-        assert!(server.battery_schedule(&LoadProfile::light_medium()).is_none());
+        assert!(server
+            .battery_schedule(&LoadProfile::light_medium())
+            .is_none());
     }
 
     #[test]
@@ -299,9 +319,15 @@ mod tests {
         let solar = pixel_cloudlet().without_smart_charging();
         assert_eq!(solar.smart_charging_fraction(), 0.0);
         assert!((solar.operational_scale() - 1.0).abs() < 1e-12);
-        assert!(solar.peripherals().iter().all(|p| p.label() != "smart plug"));
+        assert!(solar
+            .peripherals()
+            .iter()
+            .all(|p| p.label() != "smart plug"));
         // The fan stays.
-        assert!(solar.peripherals().iter().any(|p| p.label() == "server fan"));
+        assert!(solar
+            .peripherals()
+            .iter()
+            .any(|p| p.label() == "server fan"));
     }
 
     #[test]

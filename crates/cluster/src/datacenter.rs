@@ -53,7 +53,11 @@ impl DatacenterDesign {
     /// Builds a datacenter by replicating a cloudlet design `unit_count`
     /// times under the given duty cycle.
     #[must_use]
-    pub fn from_cloudlet(cloudlet: &CloudletDesign, profile: &LoadProfile, unit_count: u64) -> Self {
+    pub fn from_cloudlet(
+        cloudlet: &CloudletDesign,
+        profile: &LoadProfile,
+        unit_count: u64,
+    ) -> Self {
         Self::new(
             format!("{} datacenter", cloudlet.name()),
             cloudlet.average_power(profile),

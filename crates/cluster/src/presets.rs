@@ -101,7 +101,10 @@ mod tests {
         let server = poweredge_baseline().average_power(&profile);
         assert!(nexus.value() > server.value());
         assert!((server.value() - 308.7).abs() < 1.0);
-        assert!(nexus.value() > 440.0 && nexus.value() < 620.0, "got {nexus}");
+        assert!(
+            nexus.value() > 440.0 && nexus.value() < 620.0,
+            "got {nexus}"
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl NetworkTopology {
     pub fn gateways_needed(self, device_count: u32) -> u32 {
         match self {
             NetworkTopology::WiredSwitch { .. } => 0,
-            NetworkTopology::WifiTree { group_size, .. } => device_count.div_ceil(group_size.max(1)),
+            NetworkTopology::WifiTree { group_size, .. } => {
+                device_count.div_ceil(group_size.max(1))
+            }
         }
     }
 
@@ -157,7 +159,11 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert!(NetworkTopology::wired_gigabit().to_string().contains("wired"));
-        assert!(NetworkTopology::paper_wifi_tree().to_string().contains("WiFi tree"));
+        assert!(NetworkTopology::wired_gigabit()
+            .to_string()
+            .contains("wired"));
+        assert!(NetworkTopology::paper_wifi_tree()
+            .to_string()
+            .contains("WiFi tree"));
     }
 }

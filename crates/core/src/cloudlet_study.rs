@@ -205,12 +205,15 @@ impl Figure7Study {
         let mut curves = Vec::new();
         for kind in DeploymentKind::figure7_set() {
             let sim = build_deployment(kind, &app, 11)?;
-            let mut config = SweepConfig::new(self.qps_points.clone(), self.duration_s, self.warmup_s)
-                .seed(self.seed);
+            let mut config =
+                SweepConfig::new(self.qps_points.clone(), self.duration_s, self.warmup_s)
+                    .seed(self.seed);
             if let Some(rt) = workload.request_type() {
                 config = config.request_type(rt);
             }
-            let curve = config.run(kind.label(), &sim).map_err(DeploymentError::Sim)?;
+            let curve = config
+                .run(kind.label(), &sim)
+                .map_err(DeploymentError::Sim)?;
             curves.push(curve);
         }
         Ok(Figure7Result { workload, curves })
@@ -350,7 +353,11 @@ mod tests {
         let months: Vec<f64> = (6..=54).step_by(6).map(|m| m as f64).collect();
         let chart = figure9_chart(CloudletWorkload::HotelReservation, &months).unwrap();
         let phones = chart.line("Phones").unwrap().final_value().unwrap();
-        let server = chart.line("Server (c5.9xlarge)").unwrap().final_value().unwrap();
+        let server = chart
+            .line("Server (c5.9xlarge)")
+            .unwrap()
+            .final_value()
+            .unwrap();
         assert!(phones < server);
     }
 

@@ -160,7 +160,10 @@ mod tests {
         let server_at_12 = chart.line("PowerEdge R740").unwrap().points()[11].1;
         for label in ["ThinkPad x17", "Pixel 3A x54", "Nexus 4 x256"] {
             let at_12 = chart.line(label).unwrap().points()[11].1;
-            assert!(at_12 < server_at_12, "{label}: {at_12} vs server {server_at_12}");
+            assert!(
+                at_12 < server_at_12,
+                "{label}: {at_12} vs server {server_at_12}"
+            );
         }
     }
 

@@ -43,7 +43,10 @@ impl DeploymentCost {
     /// electricity prices.
     #[must_use]
     pub fn phone_cloudlet() -> Self {
-        let per_phone = catalog::pixel_3a().purchase_cost_usd().unwrap_or(70.0).max(70.0);
+        let per_phone = catalog::pixel_3a()
+            .purchase_cost_usd()
+            .unwrap_or(70.0)
+            .max(70.0);
         Self::new(
             "Junkyard cloudlet (10x Pixel 3A)",
             per_phone * 10.0 + 60.0, // phones plus the fan and charging hardware
@@ -57,7 +60,13 @@ impl DeploymentCost {
     #[must_use]
     pub fn c5_9xlarge() -> Self {
         let c5 = catalog::c5_instance(C5Size::XLarge9);
-        Self::new(c5.name(), 0.0, c5.hourly_cost_usd().unwrap_or(1.53), Watts::ZERO, 0.0)
+        Self::new(
+            c5.name(),
+            0.0,
+            c5.hourly_cost_usd().unwrap_or(1.53),
+            Watts::ZERO,
+            0.0,
+        )
     }
 
     /// Display label.
@@ -82,7 +91,10 @@ pub fn cost_table(lifetime: TimeSpan) -> Table {
         format!("Deployment cost over {:.1} years", lifetime.years()),
         vec!["option".into(), "upfront USD".into(), "total USD".into()],
     );
-    for option in [DeploymentCost::phone_cloudlet(), DeploymentCost::c5_9xlarge()] {
+    for option in [
+        DeploymentCost::phone_cloudlet(),
+        DeploymentCost::c5_9xlarge(),
+    ] {
         table.push_row(vec![
             option.label().to_owned(),
             format!("{:.2}", option.total_over(TimeSpan::ZERO)),

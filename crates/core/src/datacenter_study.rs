@@ -41,7 +41,12 @@ impl DatacenterStudy {
     pub fn pue_table(&self) -> Table {
         let mut table = Table::new(
             "50 MW datacenter PUE",
-            vec!["design".into(), "units".into(), "IT MW".into(), "PUE".into()],
+            vec![
+                "design".into(),
+                "units".into(),
+                "IT MW".into(),
+                "PUE".into(),
+            ],
         );
         for design in [
             DatacenterDesign::paper_server_datacenter(),
@@ -59,14 +64,13 @@ impl DatacenterStudy {
 
     /// Builds the per-unit CCI calculator for one design, applying its PUE
     /// to the operational terms as in Eq. 15.
-    fn unit_calculator(
-        &self,
-        benchmark: Benchmark,
-        phones: bool,
-    ) -> CciCalculator {
+    fn unit_calculator(&self, benchmark: Benchmark, phones: bool) -> CciCalculator {
         let profile = LoadProfile::light_medium();
         let (cloudlet, design) = if phones {
-            (presets::pixel_cloudlet(), DatacenterDesign::paper_phone_datacenter())
+            (
+                presets::pixel_cloudlet(),
+                DatacenterDesign::paper_phone_datacenter(),
+            )
         } else {
             (
                 presets::poweredge_baseline(),
@@ -131,8 +135,12 @@ impl DatacenterStudy {
     ///
     /// Propagates CCI errors.
     pub fn smartphone_advantage(&self, benchmark: Benchmark) -> Result<f64, CciError> {
-        let server = self.unit_calculator(benchmark, false).cci_at(self.lifetime)?;
-        let phones = self.unit_calculator(benchmark, true).cci_at(self.lifetime)?;
+        let server = self
+            .unit_calculator(benchmark, false)
+            .cci_at(self.lifetime)?;
+        let phones = self
+            .unit_calculator(benchmark, true)
+            .cci_at(self.lifetime)?;
         Ok(server.grams_per_op() / phones.grams_per_op())
     }
 }

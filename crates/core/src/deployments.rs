@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn phone_deployment_spreads_across_ten_nodes() {
-        let sim = build_deployment(DeploymentKind::PhoneCloudlet, &hotel_reservation(), 11).unwrap();
+        let sim =
+            build_deployment(DeploymentKind::PhoneCloudlet, &hotel_reservation(), 11).unwrap();
         assert_eq!(sim.nodes().len(), 10);
         let occupied = (0..10)
             .filter(|n| !sim.placement().services_on(*n).is_empty())
@@ -135,8 +136,12 @@ mod tests {
 
     #[test]
     fn c5_deployment_is_a_single_colocated_node() {
-        let sim =
-            build_deployment(DeploymentKind::C5(C5Size::XLarge9), &hotel_reservation(), 11).unwrap();
+        let sim = build_deployment(
+            DeploymentKind::C5(C5Size::XLarge9),
+            &hotel_reservation(),
+            11,
+        )
+        .unwrap();
         assert_eq!(sim.nodes().len(), 1);
         assert_eq!(sim.nodes()[0].cores(), 36);
         assert_eq!(

@@ -120,7 +120,10 @@ pub fn energy_mix_chart_for(benchmark: Benchmark, months: &[f64]) -> Result<Char
         }
         let mut points = Vec::with_capacity(months.len());
         for m in months {
-            points.push((*m, calc.cci_at(TimeSpan::from_months(*m))?.milligrams_per_op()));
+            points.push((
+                *m,
+                calc.cci_at(TimeSpan::from_months(*m))?.milligrams_per_op(),
+            ));
         }
         chart.push_line(SeriesLine::new(scenario.label(), points));
     }
@@ -134,9 +137,17 @@ mod tests {
     #[test]
     fn cleaner_energy_means_lower_cci() {
         let chart = energy_mix_chart().unwrap();
-        let ca = chart.line("[Pixel] California").unwrap().final_value().unwrap();
+        let ca = chart
+            .line("[Pixel] California")
+            .unwrap()
+            .final_value()
+            .unwrap();
         let solar = chart.line("[Pixel] Solar").unwrap().final_value().unwrap();
-        let zero = chart.line("[Pixel] Z.Carbon").unwrap().final_value().unwrap();
+        let zero = chart
+            .line("[Pixel] Z.Carbon")
+            .unwrap()
+            .final_value()
+            .unwrap();
         assert!(solar < ca);
         assert!(zero <= solar);
         // A reused device on a perfectly clean grid has zero CCI.
@@ -157,8 +168,16 @@ mod tests {
         // matters, so the new server keeps a non-zero CCI while the reused
         // phone goes to (near) zero.
         let chart = energy_mix_chart().unwrap();
-        let server_zero = chart.line("[Server] Z.Carbon").unwrap().final_value().unwrap();
-        let pixel_zero = chart.line("[Pixel] Z.Carbon").unwrap().final_value().unwrap();
+        let server_zero = chart
+            .line("[Server] Z.Carbon")
+            .unwrap()
+            .final_value()
+            .unwrap();
+        let pixel_zero = chart
+            .line("[Pixel] Z.Carbon")
+            .unwrap()
+            .final_value()
+            .unwrap();
         assert!(server_zero > 0.0);
         assert!(pixel_zero < server_zero);
     }

@@ -30,7 +30,11 @@ impl Table {
     ///
     /// Panics if the row length does not match the header count.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -151,7 +155,11 @@ pub struct Chart {
 impl Chart {
     /// Creates an empty chart.
     #[must_use]
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -234,7 +242,11 @@ impl Chart {
 
 impl fmt::Display for Chart {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== {} ==  ({} vs {})", self.title, self.y_label, self.x_label)?;
+        writeln!(
+            f,
+            "== {} ==  ({} vs {})",
+            self.title, self.y_label, self.x_label
+        )?;
         for line in &self.lines {
             let preview: Vec<String> = line
                 .points()

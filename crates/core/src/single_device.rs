@@ -157,7 +157,11 @@ mod tests {
         // the Pixel 3A is far smaller on SGEMM than on the other benchmarks.
         let values = |benchmark: Benchmark| {
             let chart = SingleDeviceStudy::new(benchmark).run_paper_devices();
-            let laptop = chart.line("ThinkPad X1 Carbon G3").unwrap().final_value().unwrap();
+            let laptop = chart
+                .line("ThinkPad X1 Carbon G3")
+                .unwrap()
+                .final_value()
+                .unwrap();
             let pixel = chart.line("Pixel 3A").unwrap().final_value().unwrap();
             let nexus = chart.line("Nexus 4").unwrap().final_value().unwrap();
             (laptop, pixel, nexus)
@@ -167,11 +171,17 @@ mod tests {
             laptop / pixel
         };
         let (sgemm_laptop, _, sgemm_nexus) = values(Benchmark::Sgemm);
-        assert!(sgemm_laptop < sgemm_nexus, "laptop {sgemm_laptop} vs Nexus 4 {sgemm_nexus}");
+        assert!(
+            sgemm_laptop < sgemm_nexus,
+            "laptop {sgemm_laptop} vs Nexus 4 {sgemm_nexus}"
+        );
         let sgemm = ratio(Benchmark::Sgemm);
         let dijkstra = ratio(Benchmark::Dijkstra);
         let pdf = ratio(Benchmark::PdfRender);
-        assert!(sgemm < dijkstra && sgemm < pdf, "sgemm {sgemm}, dijkstra {dijkstra}, pdf {pdf}");
+        assert!(
+            sgemm < dijkstra && sgemm < pdf,
+            "sgemm {sgemm}, dijkstra {dijkstra}, pdf {pdf}"
+        );
     }
 
     #[test]

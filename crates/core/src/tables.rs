@@ -20,26 +20,55 @@ pub fn figure1_charts() -> Vec<Chart> {
         SeriesLine::new(label, years.iter().copied().zip(values).collect())
     };
 
-    let mut performance = Chart::new("Phone performance vs T4g", "year", "GeekBench (Core i3 = 1.0)")
-        .with_line(line("mean", summaries.iter().map(|s| s.performance_mean()).collect()))
-        .with_line(line("min", summaries.iter().map(|s| s.performance_min()).collect()))
-        .with_line(line("max", summaries.iter().map(|s| s.performance_max()).collect()));
+    let mut performance = Chart::new(
+        "Phone performance vs T4g",
+        "year",
+        "GeekBench (Core i3 = 1.0)",
+    )
+    .with_line(line(
+        "mean",
+        summaries.iter().map(|s| s.performance_mean()).collect(),
+    ))
+    .with_line(line(
+        "min",
+        summaries.iter().map(|s| s.performance_min()).collect(),
+    ))
+    .with_line(line(
+        "max",
+        summaries.iter().map(|s| s.performance_max()).collect(),
+    ));
     let mut cores = Chart::new("Phone cores vs T4g", "year", "cores")
-        .with_line(line("mean", summaries.iter().map(|s| s.cores_mean()).collect()))
-        .with_line(line("min", summaries.iter().map(|s| f64::from(s.cores_min())).collect()))
-        .with_line(line("max", summaries.iter().map(|s| f64::from(s.cores_max())).collect()));
+        .with_line(line(
+            "mean",
+            summaries.iter().map(|s| s.cores_mean()).collect(),
+        ))
+        .with_line(line(
+            "min",
+            summaries.iter().map(|s| f64::from(s.cores_min())).collect(),
+        ))
+        .with_line(line(
+            "max",
+            summaries.iter().map(|s| f64::from(s.cores_max())).collect(),
+        ));
     let mut memory = Chart::new("Phone memory vs T4g", "year", "GiB")
         .with_line(line(
             "min config mean",
-            summaries.iter().map(|s| s.memory_min_config_mean()).collect(),
+            summaries
+                .iter()
+                .map(|s| s.memory_min_config_mean())
+                .collect(),
         ))
         .with_line(line(
             "max config mean",
-            summaries.iter().map(|s| s.memory_max_config_mean()).collect(),
+            summaries
+                .iter()
+                .map(|s| s.memory_max_config_mean())
+                .collect(),
         ));
 
     for instance in release_db::t4g_instances() {
-        let flat = |v: f64| SeriesLine::new(instance.name(), years.iter().map(|y| (*y, v)).collect());
+        let flat =
+            |v: f64| SeriesLine::new(instance.name(), years.iter().map(|y| (*y, v)).collect());
         performance.push_line(flat(instance.performance()));
         cores.push_line(flat(f64::from(instance.vcpus())));
         memory.push_line(flat(instance.memory_gib()));
@@ -58,11 +87,17 @@ pub fn table1() -> Table {
         headers.push(format!("{benchmark} multi"));
         headers.push(format!("{benchmark} N"));
     }
-    let mut table = Table::new("GeekBench performance and server-equivalence (Table 1)", headers);
+    let mut table = Table::new(
+        "GeekBench performance and server-equivalence (Table 1)",
+        headers,
+    );
     for device in catalog::table_devices() {
         let mut row = vec![device.name().to_owned(), device.release_year().to_string()];
         for benchmark in Benchmark::ALL {
-            let score = device.benchmarks().get(benchmark).expect("catalog is complete");
+            let score = device
+                .benchmarks()
+                .get(benchmark)
+                .expect("catalog is complete");
             row.push(format!("{:.3}", score.single_core()));
             row.push(format!("{:.1}", score.multi_core()));
             let n = device
@@ -113,7 +148,12 @@ pub fn table3() -> (Table, f64) {
     let breakdown = ComponentBreakdown::nexus_4();
     let mut table = Table::new(
         "Nexus 4 component embodied carbon (Table 3)",
-        vec!["component".into(), "kgCO2e".into(), "fraction".into(), "reused as compute node".into()],
+        vec![
+            "component".into(),
+            "kgCO2e".into(),
+            "fraction".into(),
+            "reused as compute node".into(),
+        ],
     );
     let reused_role = ComponentBreakdown::compute_node_role();
     for component in Component::ALL {
@@ -121,8 +161,16 @@ pub fn table3() -> (Table, f64) {
         table.push_row(vec![
             component.to_string(),
             format!("{:.1}", carbon.kilograms()),
-            format!("{:.1}%", breakdown.fraction_of(component).unwrap_or(0.0) * 100.0),
-            if reused_role.contains(&component) { "yes" } else { "no" }.to_owned(),
+            format!(
+                "{:.1}%",
+                breakdown.fraction_of(component).unwrap_or(0.0) * 100.0
+            ),
+            if reused_role.contains(&component) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
         ]);
     }
     let reuse_factor = breakdown

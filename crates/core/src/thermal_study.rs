@@ -25,8 +25,10 @@ pub fn run_thermal_study() -> ThermalStudyResult {
     let run = |profile: LoadProfile| {
         let test = StressTest::paper_setup(profile);
         let timeline = test.run();
-        let per_device =
-            timeline.thermal_power(test.enclosure(), &test.models()).value() / test.phones().len() as f64;
+        let per_device = timeline
+            .thermal_power(test.enclosure(), &test.models())
+            .value()
+            / test.phones().len() as f64;
         (timeline, Watts::new(per_device))
     };
     let (full_load, full_power) = run(LoadProfile::full_load());
@@ -68,8 +70,16 @@ impl ThermalStudyResult {
     /// internal temperature over time.
     #[must_use]
     pub fn temperature_chart(&self, full_load: bool) -> Chart {
-        let timeline = if full_load { &self.full_load } else { &self.light_medium };
-        let label = if full_load { "100% load" } else { "light-medium" };
+        let timeline = if full_load {
+            &self.full_load
+        } else {
+            &self.light_medium
+        };
+        let label = if full_load {
+            "100% load"
+        } else {
+            "light-medium"
+        };
         let step_min = timeline.step().minutes();
         let mut chart = Chart::new(
             format!("Thermal stress test — {label}"),
@@ -150,7 +160,10 @@ mod tests {
         // (a) Nexus 4s protect themselves under sustained full load.
         assert!(result.full_load().shutdown_count() >= 1);
         // (c) performance/temperature is worse at full load than light-medium.
-        assert!(result.full_load().peak_air_temperature() > result.light_medium().peak_air_temperature());
+        assert!(
+            result.full_load().peak_air_temperature()
+                > result.light_medium().peak_air_temperature()
+        );
         // (d) thermal power stays below the 5 W TDP.
         assert!(result.full_load_thermal_power_per_device().value() < 5.0);
         assert!(
@@ -162,7 +175,11 @@ mod tests {
     #[test]
     fn cooling_plan_needs_one_or_two_fans() {
         let plan = run_thermal_study().cloudlet_cooling_plan();
-        assert!(plan.fans_needed() >= 1 && plan.fans_needed() <= 2, "{}", plan.fans_needed());
+        assert!(
+            plan.fans_needed() >= 1 && plan.fans_needed() <= 2,
+            "{}",
+            plan.fans_needed()
+        );
     }
 
     #[test]

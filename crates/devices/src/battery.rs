@@ -44,7 +44,10 @@ impl BatterySpec {
         embodied: GramsCo2e,
         cycle_life: u32,
     ) -> Self {
-        assert!(capacity_amp_hours > 0.0, "battery capacity must be positive");
+        assert!(
+            capacity_amp_hours > 0.0,
+            "battery capacity must be positive"
+        );
         assert!(voltage > 0.0, "battery voltage must be positive");
         assert!(cycle_life > 0, "battery cycle life must be positive");
         Self {
@@ -197,20 +200,32 @@ mod tests {
     fn pixel_pack_energy_is_about_45_kj() {
         // The paper quotes the 3 Ah Pixel pack as 45 kJ.
         let e = BatterySpec::pixel_3a().energy();
-        assert!((e.kilojoules() - 41.6).abs() < 5.0, "got {} kJ", e.kilojoules());
+        assert!(
+            (e.kilojoules() - 41.6).abs() < 5.0,
+            "got {} kJ",
+            e.kilojoules()
+        );
     }
 
     #[test]
     fn pixel_wears_out_in_about_2_point_3_years() {
         // Section 4.3: 1.54 W -> ~3 cycles/day -> ~833 days = 2.3 years.
         let life = BatterySpec::pixel_3a().projected_lifetime(Watts::new(1.54));
-        assert!(life.years() > 2.0 && life.years() < 2.6, "got {} years", life.years());
+        assert!(
+            life.years() > 2.0 && life.years() < 2.6,
+            "got {} years",
+            life.years()
+        );
     }
 
     #[test]
     fn nexus4_wears_out_in_about_1_point_2_years() {
         let life = BatterySpec::nexus_4().projected_lifetime(Watts::new(1.78));
-        assert!(life.years() > 1.0 && life.years() < 1.5, "got {} years", life.years());
+        assert!(
+            life.years() > 1.0 && life.years() < 1.5,
+            "got {} years",
+            life.years()
+        );
     }
 
     #[test]
@@ -219,7 +234,11 @@ mod tests {
         // light-medium workload.
         let spec = BatterySpec::pixel_3a();
         let quarter = TimeSpan::from_secs(spec.runtime_at(Watts::new(1.54)).seconds() * 0.25);
-        assert!(quarter.hours() > 1.3 && quarter.hours() < 2.3, "got {} h", quarter.hours());
+        assert!(
+            quarter.hours() > 1.3 && quarter.hours() < 2.3,
+            "got {} h",
+            quarter.hours()
+        );
     }
 
     #[test]
@@ -231,7 +250,11 @@ mod tests {
     #[test]
     fn full_charge_time_is_reasonable() {
         let t = BatterySpec::pixel_3a().full_charge_time();
-        assert!(t.minutes() > 30.0 && t.minutes() < 90.0, "got {} min", t.minutes());
+        assert!(
+            t.minutes() > 30.0 && t.minutes() < 90.0,
+            "got {} min",
+            t.minutes()
+        );
     }
 
     #[test]

@@ -259,7 +259,9 @@ mod tests {
 
     #[test]
     fn table1_n_for_pixel_sgemm_is_54() {
-        let n = pixel_3a().devices_to_match(&poweredge(), Benchmark::Sgemm).unwrap();
+        let n = pixel_3a()
+            .devices_to_match(&poweredge(), Benchmark::Sgemm)
+            .unwrap();
         assert_eq!(n, 54);
     }
 
@@ -273,14 +275,18 @@ mod tests {
 
     #[test]
     fn baseline_matches_itself_with_one_device() {
-        let n = poweredge().devices_to_match(&poweredge(), Benchmark::Sgemm).unwrap();
+        let n = poweredge()
+            .devices_to_match(&poweredge(), Benchmark::Sgemm)
+            .unwrap();
         assert_eq!(n, 1);
     }
 
     #[test]
     fn missing_score_yields_none() {
         let empty = BenchmarkSuite::new();
-        assert!(empty.devices_to_match(&poweredge(), Benchmark::Sgemm).is_none());
+        assert!(empty
+            .devices_to_match(&poweredge(), Benchmark::Sgemm)
+            .is_none());
         assert!(empty.get(Benchmark::Sgemm).is_none());
         assert!(empty.is_empty());
     }
@@ -312,7 +318,10 @@ mod tests {
 
     #[test]
     fn throughput_conversion_keeps_unit() {
-        let t = pixel_3a().get(Benchmark::Dijkstra).unwrap().multi_core_throughput();
+        let t = pixel_3a()
+            .get(Benchmark::Dijkstra)
+            .unwrap()
+            .multi_core_throughput();
         assert_eq!(t.unit(), OpUnit::MillionEdges);
         assert!((t.rate() - 4.44).abs() < 1e-12);
     }

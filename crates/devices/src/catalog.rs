@@ -88,7 +88,10 @@ pub fn thinkpad_x1_carbon_g3() -> DeviceSpec {
         ))
         .battery(BatterySpec::thinkpad_x1_carbon_g3())
         .embodied(GramsCo2e::from_kilograms(250.0))
-        .radios(RadioSpec::new(Some(DataRate::from_megabits_per_sec(433.0)), None))
+        .radios(RadioSpec::new(
+            Some(DataRate::from_megabits_per_sec(433.0)),
+            None,
+        ))
         .purchase_cost_usd(250.0)
         .build()
 }
@@ -267,7 +270,11 @@ pub fn c5_instance(size: C5Size) -> DeviceSpec {
                 .with_score(Benchmark::Sgemm, single_sgemm, multi(single_sgemm))
                 .with_score(Benchmark::PdfRender, 105.0, multi(105.0))
                 .with_score(Benchmark::Dijkstra, 3.4, multi(3.4))
-                .with_score(Benchmark::MemoryCopy, 6.3, 6.3 * f64::from(size.vcpus()).sqrt()),
+                .with_score(
+                    Benchmark::MemoryCopy,
+                    6.3,
+                    6.3 * f64::from(size.vcpus()).sqrt(),
+                ),
         )
         .power(PowerCurve::from_measurements(
             Watts::new(95.0 * scale),
@@ -400,7 +407,9 @@ mod tests {
     fn catalog_listings_cover_all_devices() {
         assert_eq!(table_devices().len(), 5);
         assert_eq!(reused_devices().len(), 4);
-        assert!(reused_devices().iter().all(|d| d.name() != "PowerEdge R740"));
+        assert!(reused_devices()
+            .iter()
+            .all(|d| d.name() != "PowerEdge R740"));
     }
 
     #[test]

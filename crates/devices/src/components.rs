@@ -91,7 +91,7 @@ impl ComponentBreakdown {
     /// Adds (or accumulates onto) a component's embodied carbon in place.
     pub fn add(&mut self, component: Component, carbon: GramsCo2e) {
         let entry = self.parts.entry(component).or_insert(GramsCo2e::ZERO);
-        *entry = *entry + carbon;
+        *entry += carbon;
     }
 
     /// The Nexus 4 breakdown of Table 3 (working estimates).
@@ -125,7 +125,10 @@ impl ComponentBreakdown {
     /// Embodied carbon of one component, zero if absent.
     #[must_use]
     pub fn carbon_of(&self, component: Component) -> GramsCo2e {
-        self.parts.get(&component).copied().unwrap_or(GramsCo2e::ZERO)
+        self.parts
+            .get(&component)
+            .copied()
+            .unwrap_or(GramsCo2e::ZERO)
     }
 
     /// Fraction of the device's total embodied carbon attributed to
@@ -218,7 +221,9 @@ mod tests {
         let scaled = ComponentBreakdown::scaled_like_nexus_4(GramsCo2e::from_kilograms(37.0));
         assert!((scaled.total().kilograms() - 37.0).abs() < 1e-9);
         let a = scaled.fraction_of(Component::Display).unwrap();
-        let b = ComponentBreakdown::nexus_4().fraction_of(Component::Display).unwrap();
+        let b = ComponentBreakdown::nexus_4()
+            .fraction_of(Component::Display)
+            .unwrap();
         assert!((a - b).abs() < 1e-12);
     }
 

@@ -197,12 +197,18 @@ impl DeviceSpec {
     /// Full-load multi-core throughput on a benchmark, if measured.
     #[must_use]
     pub fn throughput(&self, benchmark: Benchmark) -> Option<Throughput> {
-        self.benchmarks.get(benchmark).map(|s| s.multi_core_throughput())
+        self.benchmarks
+            .get(benchmark)
+            .map(|s| s.multi_core_throughput())
     }
 
     /// Duty-cycle-averaged throughput on a benchmark (Eq. 6), if measured.
     #[must_use]
-    pub fn average_throughput(&self, benchmark: Benchmark, profile: &LoadProfile) -> Option<Throughput> {
+    pub fn average_throughput(
+        &self,
+        benchmark: Benchmark,
+        profile: &LoadProfile,
+    ) -> Option<Throughput> {
         self.throughput(benchmark)
             .map(|t| profile.average_throughput(t))
     }

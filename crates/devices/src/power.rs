@@ -38,10 +38,17 @@ impl PowerCurve {
     pub fn from_measurements(idle: Watts, p10: Watts, p50: Watts, p100: Watts) -> Self {
         assert!(idle.value() >= 0.0, "power cannot be negative");
         assert!(
-            idle.value() <= p10.value() && p10.value() <= p50.value() && p50.value() <= p100.value(),
+            idle.value() <= p10.value()
+                && p10.value() <= p50.value()
+                && p50.value() <= p100.value(),
             "power curve must be non-decreasing in load"
         );
-        Self { idle, p10, p50, p100 }
+        Self {
+            idle,
+            p10,
+            p50,
+            p100,
+        }
     }
 
     /// A constant-power device (useful for peripherals such as fans).
@@ -91,7 +98,11 @@ impl PowerCurve {
         } else {
             (0.50, self.p50, 1.0, self.p100)
         };
-        let frac = if x1 > x0 { (load - x0) / (x1 - x0) } else { 0.0 };
+        let frac = if x1 > x0 {
+            (load - x0) / (x1 - x0)
+        } else {
+            0.0
+        };
         y0 + (y1 - y0) * frac
     }
 
@@ -136,7 +147,10 @@ impl LoadSegment {
             (0.0..=1.0).contains(&time_fraction),
             "time fraction must be in [0, 1]"
         );
-        Self { load, time_fraction }
+        Self {
+            load,
+            time_fraction,
+        }
     }
 
     /// CPU load of this segment, in `[0, 1]`.
@@ -187,7 +201,9 @@ impl LoadProfile {
     pub fn new(segments: Vec<LoadSegment>) -> Result<Self, InvalidProfile> {
         let total: f64 = segments.iter().map(|s| s.time_fraction()).sum();
         if (total - 1.0).abs() > 1e-6 {
-            return Err(InvalidProfile { total_fraction: total });
+            return Err(InvalidProfile {
+                total_fraction: total,
+            });
         }
         Ok(Self { segments })
     }
@@ -282,7 +298,12 @@ mod tests {
     }
 
     fn pixel_curve() -> PowerCurve {
-        PowerCurve::from_measurements(Watts::new(0.8), Watts::new(1.4), Watts::new(1.9), Watts::new(2.5))
+        PowerCurve::from_measurements(
+            Watts::new(0.8),
+            Watts::new(1.4),
+            Watts::new(1.9),
+            Watts::new(2.5),
+        )
     }
 
     #[test]
@@ -359,7 +380,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn non_monotonic_curve_panics() {
-        let _ = PowerCurve::from_measurements(Watts::new(10.0), Watts::new(5.0), Watts::new(20.0), Watts::new(30.0));
+        let _ = PowerCurve::from_measurements(
+            Watts::new(10.0),
+            Watts::new(5.0),
+            Watts::new(20.0),
+            Watts::new(30.0),
+        );
     }
 
     #[test]

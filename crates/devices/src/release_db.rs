@@ -280,8 +280,10 @@ pub fn yearly_summaries() -> Vec<YearSummary> {
                 cores_mean: cores.iter().map(|c| f64::from(*c)).sum::<f64>() / count,
                 cores_min: cores.iter().copied().min().unwrap_or(0),
                 cores_max: cores.iter().copied().max().unwrap_or(0),
-                memory_min_config_mean: of_year.iter().map(|p| p.memory_min_gib()).sum::<f64>() / count,
-                memory_max_config_mean: of_year.iter().map(|p| p.memory_max_gib()).sum::<f64>() / count,
+                memory_min_config_mean: of_year.iter().map(|p| p.memory_min_gib()).sum::<f64>()
+                    / count,
+                memory_max_config_mean: of_year.iter().map(|p| p.memory_max_gib()).sum::<f64>()
+                    / count,
             }
         })
         .collect()

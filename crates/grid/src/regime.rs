@@ -91,9 +91,19 @@ mod tests {
 
     #[test]
     fn intensities_match_paper() {
-        assert!((PowerRegime::CaliforniaMix.carbon_intensity().grams_per_kwh() - 257.0).abs() < 1e-9);
+        assert!(
+            (PowerRegime::CaliforniaMix
+                .carbon_intensity()
+                .grams_per_kwh()
+                - 257.0)
+                .abs()
+                < 1e-9
+        );
         assert!((PowerRegime::AlwaysSolar.carbon_intensity().grams_per_kwh() - 48.0).abs() < 1e-9);
-        assert_eq!(PowerRegime::ZeroCarbon.carbon_intensity(), CarbonIntensity::ZERO);
+        assert_eq!(
+            PowerRegime::ZeroCarbon.carbon_intensity(),
+            CarbonIntensity::ZERO
+        );
     }
 
     #[test]

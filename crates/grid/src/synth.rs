@@ -115,7 +115,8 @@ impl CaisoSynthesizer {
     /// Synthesises the carbon-intensity trace.
     #[must_use]
     pub fn intensity_trace(&self) -> IntensityTrace {
-        let samples_per_day = (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
+        let samples_per_day =
+            (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut raw = Vec::with_capacity(samples_per_day * self.days);
         for _ in 0..self.days {
@@ -145,7 +146,8 @@ impl CaisoSynthesizer {
     /// Figure 4a: one [`GenerationMix`] per sample.
     #[must_use]
     pub fn mix_trace(&self) -> Vec<GenerationMix> {
-        let samples_per_day = (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
+        let samples_per_day =
+            (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed);
         let mut mixes = Vec::with_capacity(samples_per_day * self.days);
         for _ in 0..self.days {
@@ -153,7 +155,8 @@ impl CaisoSynthesizer {
             let wind_base = 2.0 + 3.0 * rng.random::<f64>();
             for i in 0..samples_per_day {
                 let hour = 24.0 * i as f64 / samples_per_day as f64;
-                let demand = 23.0 + 4.0 * Self::evening_shape(hour) - 2.0 * Self::solar_shape(hour) * 0.3;
+                let demand =
+                    23.0 + 4.0 * Self::evening_shape(hour) - 2.0 * Self::solar_shape(hour) * 0.3;
                 let solar = 13.0 * solar_factor * Self::solar_shape(hour);
                 let wind = wind_base + 0.5 * (rng.random::<f64>() * 2.0 - 1.0);
                 let hydro = 3.0;
@@ -180,7 +183,11 @@ mod tests {
     #[test]
     fn mean_is_calibrated_to_california_average() {
         let trace = CaisoSynthesizer::april_2021_like(7).intensity_trace();
-        assert!((trace.mean().grams_per_kwh() - 257.0).abs() < 1.0, "{}", trace.mean());
+        assert!(
+            (trace.mean().grams_per_kwh() - 257.0).abs() < 1.0,
+            "{}",
+            trace.mean()
+        );
     }
 
     #[test]

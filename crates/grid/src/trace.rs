@@ -163,7 +163,10 @@ impl IntensityTrace {
         if end > self.values.len() {
             return None;
         }
-        Some(IntensityTrace::new(self.step, self.values[start..end].to_vec()))
+        Some(IntensityTrace::new(
+            self.step,
+            self.values[start..end].to_vec(),
+        ))
     }
 }
 
@@ -209,10 +212,19 @@ mod tests {
     fn value_at_indexes_and_wraps() {
         let trace = ramp(12);
         assert_eq!(trace.value_at(TimeSpan::ZERO).grams_per_kwh(), 0.0);
-        assert_eq!(trace.value_at(TimeSpan::from_minutes(7.0)).grams_per_kwh(), 1.0);
+        assert_eq!(
+            trace.value_at(TimeSpan::from_minutes(7.0)).grams_per_kwh(),
+            1.0
+        );
         // One full hour wraps back to the start.
-        assert_eq!(trace.value_at(TimeSpan::from_minutes(60.0)).grams_per_kwh(), 0.0);
-        assert_eq!(trace.value_at(TimeSpan::from_minutes(-5.0)).grams_per_kwh(), 0.0);
+        assert_eq!(
+            trace.value_at(TimeSpan::from_minutes(60.0)).grams_per_kwh(),
+            0.0
+        );
+        assert_eq!(
+            trace.value_at(TimeSpan::from_minutes(-5.0)).grams_per_kwh(),
+            0.0
+        );
     }
 
     #[test]

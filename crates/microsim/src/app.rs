@@ -37,7 +37,12 @@ impl ServiceCall {
     ///
     /// Panics if any value is negative.
     #[must_use]
-    pub fn new(service: impl Into<String>, cpu_ms: f64, request_bytes: f64, response_bytes: f64) -> Self {
+    pub fn new(
+        service: impl Into<String>,
+        cpu_ms: f64,
+        request_bytes: f64,
+        response_bytes: f64,
+    ) -> Self {
         assert!(cpu_ms >= 0.0, "CPU cost cannot be negative");
         assert!(
             request_bytes >= 0.0 && response_bytes >= 0.0,
@@ -139,7 +144,10 @@ impl RequestType {
     #[must_use]
     pub fn new(name: impl Into<String>, weight: f64, stages: Vec<Stage>) -> Self {
         assert!(weight > 0.0, "request-type weight must be positive");
-        assert!(!stages.is_empty(), "a request type needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "a request type needs at least one stage"
+        );
         Self {
             name: name.into(),
             weight,
@@ -260,7 +268,10 @@ impl Application {
     ) -> Self {
         let frontend = frontend.into();
         assert!(!services.is_empty(), "an application needs services");
-        assert!(!request_types.is_empty(), "an application needs request types");
+        assert!(
+            !request_types.is_empty(),
+            "an application needs request types"
+        );
         assert!(
             services.iter().any(|s| s.name() == frontend),
             "frontend service must exist"
@@ -544,7 +555,12 @@ pub fn hotel_reservation() -> Application {
         vec![
             Stage::single(ServiceCall::new("frontend", 1.8, 450.0, 400.0)),
             Stage::single(ServiceCall::rpc("recommendation", 3.0)),
-            Stage::single(ServiceCall::new("mongodb-recommendation", 3.0, 400.0, 1_200.0)),
+            Stage::single(ServiceCall::new(
+                "mongodb-recommendation",
+                3.0,
+                400.0,
+                1_200.0,
+            )),
             Stage::single(ServiceCall::rpc("profile", 3.0)),
             Stage::parallel(vec![
                 ServiceCall::rpc("memcached-profile", 1.0),
@@ -624,7 +640,10 @@ mod tests {
     fn compose_post_costs_more_cpu_than_a_read() {
         let app = social_network();
         let write = app.request_type(SN_COMPOSE_POST).unwrap().total_cpu_ms();
-        let read = app.request_type(SN_READ_HOME_TIMELINE).unwrap().total_cpu_ms();
+        let read = app
+            .request_type(SN_READ_HOME_TIMELINE)
+            .unwrap()
+            .total_cpu_ms();
         assert!(write > read, "write {write} ms vs read {read} ms");
         assert!(write > 5.0 && write < 8.5, "write {write} ms");
         assert!(read > 3.2 && read < 6.5, "read {read} ms");

@@ -173,7 +173,10 @@ impl CompletedRequest {
     /// Creates a completion record.
     #[must_use]
     pub fn new(arrival_s: f64, latency_ms: f64) -> Self {
-        Self { arrival_s, latency_ms }
+        Self {
+            arrival_s,
+            latency_ms,
+        }
     }
 
     /// Arrival time of the request, seconds from the start of the run.

@@ -34,7 +34,9 @@ impl NetworkModel {
         shared_channel: Option<DataRate>,
     ) -> Self {
         assert!(
-            intra_node_latency_ms >= 0.0 && inter_node_latency_ms >= 0.0 && client_latency_ms >= 0.0,
+            intra_node_latency_ms >= 0.0
+                && inter_node_latency_ms >= 0.0
+                && client_latency_ms >= 0.0,
             "latencies cannot be negative"
         );
         Self {
@@ -124,7 +126,10 @@ mod tests {
         // 450 Mbit/s = 56.25 MB/s, so 56.25 KB takes 1 ms.
         let t = wifi.transmission_secs(56_250.0);
         assert!((t - 0.001).abs() < 1e-9);
-        assert_eq!(NetworkModel::single_node_loopback().transmission_secs(1e9), 0.0);
+        assert_eq!(
+            NetworkModel::single_node_loopback().transmission_secs(1e9),
+            0.0
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn pixel_node_capacity_is_about_4_7_reference_cores() {
         let node = NodeSpec::pixel_3a(0);
-        assert!((node.capacity_ref_cores() - 4.7).abs() < 0.1, "{}", node.capacity_ref_cores());
+        assert!(
+            (node.capacity_ref_cores() - 4.7).abs() < 0.1,
+            "{}",
+            node.capacity_ref_cores()
+        );
         assert_eq!(node.cores(), 8);
     }
 
@@ -148,7 +152,10 @@ mod tests {
         // The paper's Figure 7 puts the ten-phone cloudlet between a
         // c5.4xlarge and a c5.12xlarge; the aggregate capacities reflect
         // that (the cloudlet trades raw capacity for network latency).
-        let phones: f64 = ten_pixel_cloudlet().iter().map(NodeSpec::capacity_ref_cores).sum();
+        let phones: f64 = ten_pixel_cloudlet()
+            .iter()
+            .map(NodeSpec::capacity_ref_cores)
+            .sum();
         let c5_4xl = NodeSpec::c5("c5.4xlarge", 16, 32.0).capacity_ref_cores();
         let c5_12xl = NodeSpec::c5("c5.12xlarge", 48, 96.0).capacity_ref_cores();
         assert!(c5_4xl < phones, "4xl {c5_4xl} vs phones {phones}");

@@ -88,7 +88,11 @@ impl Placement {
     /// # Errors
     ///
     /// Returns [`PlacementError`] if the services cannot fit.
-    pub fn swarm_spread(app: &Application, nodes: &[NodeSpec], seed: u64) -> Result<Self, PlacementError> {
+    pub fn swarm_spread(
+        app: &Application,
+        nodes: &[NodeSpec],
+        seed: u64,
+    ) -> Result<Self, PlacementError> {
         let required: f64 = app.total_memory_gib();
         let available: f64 = nodes.iter().map(NodeSpec::memory_gib).sum();
         if required > available {
@@ -114,9 +118,11 @@ impl Placement {
             let best = (0..nodes.len())
                 .filter(|&i| free[i] >= service.memory_gib())
                 .min_by(|&a, &b| {
-                    counts[a]
-                        .cmp(&counts[b])
-                        .then_with(|| free[b].partial_cmp(&free[a]).expect("free memory is finite"))
+                    counts[a].cmp(&counts[b]).then_with(|| {
+                        free[b]
+                            .partial_cmp(&free[a])
+                            .expect("free memory is finite")
+                    })
                 })
                 .ok_or_else(|| PlacementError::ServiceTooLarge {
                     service: service.name().to_owned(),
@@ -198,7 +204,10 @@ mod tests {
         let app = social_network();
         let p = Placement::single_node(&app);
         assert!(p.covers(&app));
-        assert!(app.services().iter().all(|s| p.node_of(s.name()) == Some(0)));
+        assert!(app
+            .services()
+            .iter()
+            .all(|s| p.node_of(s.name()) == Some(0)));
         assert_eq!(p.services_on(0).len(), app.services().len());
     }
 
@@ -223,7 +232,9 @@ mod tests {
         let app = social_network();
         let nodes = ten_pixel_cloudlet();
         let p = Placement::swarm_spread(&app, &nodes, 1).unwrap();
-        let occupied = (0..nodes.len()).filter(|n| !p.services_on(*n).is_empty()).count();
+        let occupied = (0..nodes.len())
+            .filter(|n| !p.services_on(*n).is_empty())
+            .count();
         assert!(occupied >= 8, "only {occupied} of 10 phones used");
     }
 

@@ -95,7 +95,11 @@ impl ServiceSpec {
 
 impl fmt::Display for ServiceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {:.2} GiB)", self.name, self.kind, self.memory_gib)
+        write!(
+            f,
+            "{} ({}, {:.2} GiB)",
+            self.name, self.kind, self.memory_gib
+        )
     }
 }
 

@@ -82,7 +82,9 @@ impl LatencyCurve {
             .iter()
             .filter(|p| p.median_ms() <= median_limit_ms && p.tail_ms() <= tail_limit_ms)
             .map(|p| p.qps())
-            .fold(None, |best: Option<f64>, q| Some(best.map_or(q, |b| b.max(q))))
+            .fold(None, |best: Option<f64>, q| {
+                Some(best.map_or(q, |b| b.max(q)))
+            })
     }
 }
 
@@ -106,7 +108,10 @@ impl SweepConfig {
     /// the warm-up is negative.
     #[must_use]
     pub fn new(qps_points: Vec<f64>, duration_s: f64, warmup_s: f64) -> Self {
-        assert!(!qps_points.is_empty(), "a sweep needs at least one load point");
+        assert!(
+            !qps_points.is_empty(),
+            "a sweep needs at least one load point"
+        );
         assert!(duration_s > 0.0, "measurement duration must be positive");
         assert!(warmup_s >= 0.0, "warm-up cannot be negative");
         Self {
@@ -143,7 +148,11 @@ impl SweepConfig {
     /// # Errors
     ///
     /// Propagates simulation errors (for example an unknown request type).
-    pub fn run(&self, label: impl Into<String>, sim: &Simulation) -> Result<LatencyCurve, SimError> {
+    pub fn run(
+        &self,
+        label: impl Into<String>,
+        sim: &Simulation,
+    ) -> Result<LatencyCurve, SimError> {
         let mut points = Vec::with_capacity(self.qps_points.len());
         for &qps in &self.qps_points {
             let workload = Workload::steady(

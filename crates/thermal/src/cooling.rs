@@ -25,7 +25,10 @@ impl ServerFan {
     /// Panics if the rated cooling capacity is not strictly positive.
     #[must_use]
     pub fn new(rated_cooling: Watts, electrical_power: Watts, embodied: GramsCo2e) -> Self {
-        assert!(rated_cooling.value() > 0.0, "cooling capacity must be positive");
+        assert!(
+            rated_cooling.value() > 0.0,
+            "cooling capacity must be positive"
+        );
         Self {
             rated_cooling,
             electrical_power,
@@ -37,7 +40,11 @@ impl ServerFan {
     /// embodying about 9.3 kgCO2e.
     #[must_use]
     pub fn paper_cots_fan() -> Self {
-        Self::new(Watts::new(500.0), Watts::new(4.0), GramsCo2e::from_kilograms(9.3))
+        Self::new(
+            Watts::new(500.0),
+            Watts::new(4.0),
+            GramsCo2e::from_kilograms(9.3),
+        )
     }
 
     /// Heat the fan is rated to remove.
@@ -82,7 +89,10 @@ impl CoolingPlan {
     /// Panics if `per_device_heat` is negative.
     #[must_use]
     pub fn for_cluster(fan: ServerFan, device_count: u32, per_device_heat: Watts) -> Self {
-        assert!(per_device_heat.value() >= 0.0, "heat load cannot be negative");
+        assert!(
+            per_device_heat.value() >= 0.0,
+            "heat load cannot be negative"
+        );
         let heat_load = per_device_heat * f64::from(device_count);
         let fans_needed = if heat_load.value() <= 0.0 {
             0

@@ -62,8 +62,14 @@ impl PhoneThermalModel {
     ) -> Self {
         assert!(heat_capacity > 0.0, "heat capacity must be positive");
         assert!(conductance_to_air > 0.0, "conductance must be positive");
-        assert!(throttle_full > throttle_start, "throttle window must be increasing");
-        assert!(shutdown_temp > throttle_start, "shutdown must be above throttle start");
+        assert!(
+            throttle_full > throttle_start,
+            "throttle window must be increasing"
+        );
+        assert!(
+            shutdown_temp > throttle_start,
+            "shutdown must be above throttle start"
+        );
         assert!(
             min_performance > 0.0 && min_performance <= 1.0,
             "minimum performance must be in (0, 1]"
@@ -188,7 +194,10 @@ impl Enclosure {
         ambient_temp: f64,
     ) -> Self {
         assert!(volume_m3 > 0.0, "enclosure volume must be positive");
-        assert!(wall_heat_capacity >= 0.0, "wall heat capacity cannot be negative");
+        assert!(
+            wall_heat_capacity >= 0.0,
+            "wall heat capacity cannot be negative"
+        );
         assert!(conductance_to_ambient > 0.0, "conductance must be positive");
         Self {
             volume_m3,

@@ -78,7 +78,10 @@ impl PhoneTimeline {
     /// Peak internal temperature reached, °C.
     #[must_use]
     pub fn peak_temperature(&self) -> f64 {
-        self.temperatures.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.temperatures
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -121,7 +124,10 @@ impl ThermalTimeline {
     /// Number of phones that shut themselves off during the test.
     #[must_use]
     pub fn shutdown_count(&self) -> usize {
-        self.phones.iter().filter(|p| p.shutdown_at().is_some()).count()
+        self.phones
+            .iter()
+            .filter(|p| p.shutdown_at().is_some())
+            .count()
     }
 
     /// The paper's Eq. 9 estimate of total thermal power, computed from the
@@ -152,7 +158,8 @@ impl ThermalTimeline {
             .iter()
             .zip(models)
             .map(|(timeline, model)| {
-                let delta = timeline.temperatures()[first_shutdown_index.min(timeline.temperatures().len() - 1)]
+                let delta = timeline.temperatures()
+                    [first_shutdown_index.min(timeline.temperatures().len() - 1)]
                     - timeline.temperatures()[0];
                 SILICON_SPECIFIC_HEAT * model.silicon_mass_kg() * delta / window.seconds()
             })
@@ -362,7 +369,10 @@ mod tests {
             .iter()
             .filter(|p| p.label().starts_with("Nexus 4") && p.shutdown_at().is_some())
             .count();
-        assert!(nexus4_shutdowns >= 1, "expected at least one Nexus 4 shutdown");
+        assert!(
+            nexus4_shutdowns >= 1,
+            "expected at least one Nexus 4 shutdown"
+        );
         let nexus5 = timeline
             .phones()
             .iter()
@@ -382,7 +392,8 @@ mod tests {
                     (74.0..=82.0).contains(&internal),
                     "shutdown at {internal} °C"
                 );
-                let air = timeline.air_temperatures()[index.min(timeline.air_temperatures().len() - 1)];
+                let air =
+                    timeline.air_temperatures()[index.min(timeline.air_temperatures().len() - 1)];
                 assert!((32.0..=55.0).contains(&air), "air at shutdown {air} °C");
             }
         }
@@ -410,12 +421,7 @@ mod tests {
         let (_, timeline) = run_full_load();
         let phone = &timeline.phones()[0];
         let first = phone.job_latencies()[0].unwrap();
-        let last_alive = phone
-            .job_latencies()
-            .iter()
-            .rev()
-            .find_map(|l| *l)
-            .unwrap();
+        let last_alive = phone.job_latencies().iter().rev().find_map(|l| *l).unwrap();
         assert!(last_alive > first, "latency should grow with temperature");
         assert!((first - 5.0).abs() < 1e-9);
         assert!(last_alive < 20.0);
@@ -430,7 +436,10 @@ mod tests {
             "full-load thermal power {per_device_full} W/device"
         );
         let (test, light) = run_light_medium();
-        let per_device_light = light.thermal_power(test.enclosure(), &test.models()).value() / 5.0;
+        let per_device_light = light
+            .thermal_power(test.enclosure(), &test.models())
+            .value()
+            / 5.0;
         assert!(
             per_device_light < per_device_full,
             "light-medium ({per_device_light} W) should be below full load ({per_device_full} W)"
@@ -451,7 +460,10 @@ mod tests {
             .unwrap_or(timeline.air_temperatures().len() - 1);
         let air = timeline.air_temperatures();
         for i in 1..=first_shutdown {
-            assert!(air[i] >= air[i - 1] - 1e-9, "air cooled before any shutdown at step {i}");
+            assert!(
+                air[i] >= air[i - 1] - 1e-9,
+                "air cooled before any shutdown at step {i}"
+            );
         }
     }
 

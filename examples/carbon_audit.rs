@@ -22,10 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Cloudlet design ==");
     println!("{pixel_cloudlet}");
-    println!("  average power: {:.1}", pixel_cloudlet.average_power(&profile));
+    println!(
+        "  average power: {:.1}",
+        pixel_cloudlet.average_power(&profile)
+    );
     println!("  network: {}", pixel_cloudlet.network());
     println!("  management nodes: {}", pixel_cloudlet.management_count());
-    println!("  purchase cost: ${:.0}", pixel_cloudlet.purchase_cost_usd().unwrap_or(0.0));
+    println!(
+        "  purchase cost: ${:.0}",
+        pixel_cloudlet.purchase_cost_usd().unwrap_or(0.0)
+    );
     println!("\n== Embodied carbon bill (added hardware only; phones are reused) ==");
     for item in pixel_cloudlet.embodied_bill().iter() {
         println!("  {item}");
@@ -39,9 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== Lifetime CCI vs a new PowerEdge R740 (Dijkstra, California grid) ==");
-    let cloudlet_calc =
-        cloudlet_calculator(&pixel_cloudlet, Benchmark::Dijkstra, PowerRegime::CaliforniaMix);
-    let server_calc = cloudlet_calculator(&baseline, Benchmark::Dijkstra, PowerRegime::CaliforniaMix);
+    let cloudlet_calc = cloudlet_calculator(
+        &pixel_cloudlet,
+        Benchmark::Dijkstra,
+        PowerRegime::CaliforniaMix,
+    );
+    let server_calc =
+        cloudlet_calculator(&baseline, Benchmark::Dijkstra, PowerRegime::CaliforniaMix);
     for years in [1.0, 2.0, 3.0, 5.0] {
         let life = TimeSpan::from_years(years);
         let cloudlet = cloudlet_calc.cci_at(life)?;

@@ -11,7 +11,10 @@ use junkyard::core::cloudlet_study::{figure9_advantage, CloudletWorkload, Figure
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = CloudletWorkload::HotelReservation;
-    println!("Sweeping {} on the phone cloudlet and EC2 baselines...\n", workload.label());
+    println!(
+        "Sweeping {} on the phone cloudlet and EC2 baselines...\n",
+        workload.label()
+    );
 
     let result = Figure7Study::quick()
         .qps_points(vec![1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0])

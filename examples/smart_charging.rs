@@ -33,8 +33,17 @@ fn main() {
         println!(
             "  charges during {} five-minute slots: {}{}",
             charging_hours.len(),
-            charging_hours.iter().take(12).cloned().collect::<Vec<_>>().join(", "),
-            if charging_hours.len() > 12 { ", ..." } else { "" }
+            charging_hours
+                .iter()
+                .take(12)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", "),
+            if charging_hours.len() > 12 {
+                ", ..."
+            } else {
+                ""
+            }
         );
     }
 }

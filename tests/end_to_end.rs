@@ -46,9 +46,17 @@ fn figure2_and_figure5_charts_are_consistent() {
         .run_paper_cloudlets()
         .unwrap();
     let single_better = single.line("Pixel 3A").unwrap().final_value().unwrap()
-        < single.line("PowerEdge R740").unwrap().final_value().unwrap();
+        < single
+            .line("PowerEdge R740")
+            .unwrap()
+            .final_value()
+            .unwrap();
     let cluster_better = cluster.line("Pixel 3A x54").unwrap().final_value().unwrap()
-        < cluster.line("PowerEdge R740").unwrap().final_value().unwrap();
+        < cluster
+            .line("PowerEdge R740")
+            .unwrap()
+            .final_value()
+            .unwrap();
     assert_eq!(single_better, cluster_better);
     assert!(single_better);
 }
@@ -115,8 +123,16 @@ fn datacenter_and_request_level_analyses_agree_on_the_winner() {
 #[test]
 fn energy_mix_study_shows_manufacturing_dominates_on_clean_grids() {
     let chart = energy_mix_chart().unwrap();
-    let server_california = chart.line("[Server] California").unwrap().final_value().unwrap();
-    let server_zero = chart.line("[Server] Z.Carbon").unwrap().final_value().unwrap();
+    let server_california = chart
+        .line("[Server] California")
+        .unwrap()
+        .final_value()
+        .unwrap();
+    let server_zero = chart
+        .line("[Server] Z.Carbon")
+        .unwrap()
+        .final_value()
+        .unwrap();
     // Even with perfectly clean energy the new server keeps a substantial
     // CCI floor from manufacturing — the paper's takeaway (3).
     assert!(server_zero > 0.0);

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), [`ProptestConfig::with_cases`], half-open range strategies over
+//! floats and integers, and [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Inputs are drawn deterministically from a SplitMix64 generator seeded by
+//! the test's name, so runs are reproducible. There is no shrinking: a
+//! failing case reports the assertion message directly.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!
+//!     // In a test module this would also carry `#[test]`.
+//!     fn addition_commutes(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+//!     }
+//! }
+//!
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Per-`proptest!` block configuration, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of input tuples sampled per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` sampled inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic SplitMix64 generator backing input sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a hash).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of sampled test inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value. `case` is the 0-based case index; early cases pin
+    /// range boundaries so edge values are always exercised.
+    fn sample(&self, rng: &mut TestRng, case: u32) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng, case: u32) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 strategy range");
+        match case {
+            // Pin the boundaries first, like proptest's bias toward edges.
+            0 => self.start,
+            1 => f64_just_below(self.end, self.start),
+            _ => self.start + rng.unit_f64() * (self.end - self.start),
+        }
+    }
+}
+
+/// Largest representable value below `end` that is still >= `start`.
+fn f64_just_below(end: f64, start: f64) -> f64 {
+    let below = end - (end - start) * 1e-12;
+    if below < end {
+        below
+    } else {
+        start
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let len = (self.end - self.start) as u64;
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => self.start + (rng.next_u64() % len) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let len = (self.end as i128 - self.start as i128) as u128;
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let offset = (u128::from(rng.next_u64()) % len) as i128;
+                        (self.start as i128 + offset) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed_strategy!(i8, i16, i32, i64, isize);
+
+/// Asserts a condition inside a property test, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a zero-arg
+/// test that samples the configured number of input tuples and runs the
+/// body once per tuple.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng, case);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_range_pins_boundaries_then_samples_inside() {
+        let strat = 1.0f64..10.0;
+        let mut rng = TestRng::from_name("t");
+        assert_eq!(strat.sample(&mut rng, 0), 1.0);
+        assert!(strat.sample(&mut rng, 1) < 10.0);
+        for case in 2..200 {
+            let x = strat.sample(&mut rng, case);
+            assert!((1.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let strat = 5u64..8;
+        let mut rng = TestRng::from_name("t");
+        assert_eq!(strat.sample(&mut rng, 0), 5);
+        assert_eq!(strat.sample(&mut rng, 1), 7);
+        for case in 2..100 {
+            assert!((5..8).contains(&strat.sample(&mut rng, case)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end-to-end.
+        #[test]
+        fn macro_expands_and_runs(x in 0.0f64..1.0, n in 1u32..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(n, n);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a trait
+//! marker (no wire format is produced anywhere), so the traits here are
+//! blanket-implemented for every type and the derives (re-exported from
+//! `serde_derive` under the `derive` feature) expand to nothing.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Reading {
+//!     grams_per_kwh: f64,
+//! }
+//!
+//! fn assert_serializable<T: Serialize>(_: &T) {}
+//! assert_serializable(&Reading { grams_per_kwh: 257.0 });
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Blanket-implemented for all types: the workspace only ever uses it as a
+/// bound, never to produce bytes.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// Carries the same `'de` lifetime parameter as the real trait so bounds
+/// written against upstream serde keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, re-exporting the owned-deserialization marker.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
