@@ -1,0 +1,175 @@
+//! Engine performance report: runs fixed microsim scenarios (the two
+//! DeathStarBench applications at three load points each, plus a serial
+//! versus threaded sweep) with wall-clock timing and writes the numbers to
+//! `BENCH_microsim.json` so the engine's perf trajectory is tracked across
+//! PRs.
+//!
+//! Usage: `cargo run --release --bin perf_report [output.json]`
+//! (default output path: `BENCH_microsim.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use junkyard_microsim::app::{hotel_reservation, social_network, SN_COMPOSE_POST};
+use junkyard_microsim::compiled::CompiledSim;
+use junkyard_microsim::network::NetworkModel;
+use junkyard_microsim::node::ten_pixel_cloudlet;
+use junkyard_microsim::placement::Placement;
+use junkyard_microsim::sim::{Simulation, Workload};
+use junkyard_microsim::sweep::SweepConfig;
+
+/// Timed result of one fixed scenario.
+struct ScenarioResult {
+    app: &'static str,
+    request_type: Option<&'static str>,
+    qps: f64,
+    duration_s: f64,
+    offered: usize,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    median_ms: f64,
+    tail_ms: f64,
+}
+
+/// Runs one scenario three times and keeps the fastest wall clock (the
+/// metrics are deterministic, so any run's metrics serve).
+fn run_scenario(
+    sim: &CompiledSim,
+    app: &'static str,
+    request_type: Option<&'static str>,
+    qps: f64,
+    duration_s: f64,
+) -> ScenarioResult {
+    let workload = Workload::steady(qps, duration_s, request_type, 42);
+    let mut best_ms = f64::INFINITY;
+    let mut metrics = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let run = sim.run(&workload).expect("fixed scenarios run");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        metrics = Some(run);
+    }
+    let metrics = metrics.expect("at least one timed run");
+    let stats = metrics.latency_stats();
+    ScenarioResult {
+        app,
+        request_type,
+        qps,
+        duration_s,
+        offered: metrics.offered(),
+        events: metrics.events_processed(),
+        wall_ms: best_ms,
+        events_per_sec: metrics.events_processed() as f64 / (best_ms / 1_000.0),
+        median_ms: stats.median_ms().unwrap_or(0.0),
+        tail_ms: stats.tail_ms().unwrap_or(0.0),
+    }
+}
+
+fn phone_cloudlet(app: junkyard_microsim::app::Application) -> Simulation {
+    let nodes = ten_pixel_cloudlet();
+    let placement = Placement::swarm_spread(&app, &nodes, 11).expect("cloudlet fits");
+    Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).expect("sim builds")
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_microsim.json".to_owned());
+
+    let social = phone_cloudlet(social_network()).compile();
+    let hotel = phone_cloudlet(hotel_reservation()).compile();
+
+    let load_points = [1_000.0, 3_000.0, 5_000.0];
+    let mut scenarios = Vec::new();
+    for qps in load_points {
+        scenarios.push(run_scenario(
+            &social,
+            "SocialNetwork",
+            Some(SN_COMPOSE_POST),
+            qps,
+            2.0,
+        ));
+    }
+    for qps in load_points {
+        scenarios.push(run_scenario(&hotel, "HotelReservation", None, qps, 2.0));
+    }
+
+    // Serial vs threaded sweep over eight load points (same curve either
+    // way; the ratio tracks the threading win on this machine).
+    let sweep_points: Vec<f64> = (1..=8).map(|i| f64::from(i) * 600.0).collect();
+    let sweep = SweepConfig::new(sweep_points.clone(), 2.0, 0.5).request_type(SN_COMPOSE_POST);
+    let serial_start = Instant::now();
+    let serial_curve = sweep
+        .clone()
+        .parallelism(1)
+        .run_compiled("phones", &social)
+        .expect("sweep runs");
+    let sweep_serial_ms = serial_start.elapsed().as_secs_f64() * 1_000.0;
+    let threaded_start = Instant::now();
+    let threaded_curve = sweep.run_compiled("phones", &social).expect("sweep runs");
+    let sweep_threaded_ms = threaded_start.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(
+        serial_curve, threaded_curve,
+        "threaded sweeps must be point-identical to serial ones"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"microsim_engine\",\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let rt = s
+            .request_type
+            .map_or("null".to_owned(), |r| format!("\"{r}\""));
+        let _ = writeln!(
+            json,
+            "    {{\"app\": \"{}\", \"request_type\": {}, \"qps\": {}, \"duration_s\": {}, \
+             \"offered\": {}, \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"median_ms\": {:.3}, \"tail_ms\": {:.3}}}{}",
+            s.app,
+            rt,
+            s.qps,
+            s.duration_s,
+            s.offered,
+            s.events,
+            s.wall_ms,
+            s.events_per_sec,
+            s.median_ms,
+            s.tail_ms,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"sweep\": {{\"points\": {}, \"wall_ms_serial\": {:.3}, \
+         \"wall_ms_threaded\": {:.3}}}\n}}\n",
+        sweep_points.len(),
+        sweep_serial_ms,
+        sweep_threaded_ms,
+    );
+
+    std::fs::write(&output, &json).expect("report file is writable");
+
+    println!("Engine perf report (written to {output}):\n");
+    println!(
+        "  {:16} {:20} {:>7} {:>9} {:>9} {:>12} {:>10}",
+        "app", "request type", "qps", "offered", "wall ms", "events/sec", "median ms"
+    );
+    for s in &scenarios {
+        println!(
+            "  {:16} {:20} {:>7} {:>9} {:>9.2} {:>12.0} {:>10.2}",
+            s.app,
+            s.request_type.unwrap_or("(mixed)"),
+            s.qps,
+            s.offered,
+            s.wall_ms,
+            s.events_per_sec,
+            s.median_ms,
+        );
+    }
+    println!(
+        "\n  sweep ({} points): serial {:.1} ms, threaded {:.1} ms",
+        sweep_points.len(),
+        sweep_serial_ms,
+        sweep_threaded_ms
+    );
+}

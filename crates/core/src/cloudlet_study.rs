@@ -197,26 +197,65 @@ impl Figure7Study {
 
     /// Runs the study for one workload across all Figure 7 deployments.
     ///
+    /// The deployments are independent simulations, so they are fanned out
+    /// across scoped worker threads (each sweep additionally parallelises
+    /// its load points); every worker writes into its own pre-assigned
+    /// slot, so the curve order matches `DeploymentKind::figure7_set()`
+    /// exactly as in a serial run.
+    ///
     /// # Errors
     ///
-    /// Returns [`DeploymentError`] if a deployment cannot be built or run.
+    /// Returns [`DeploymentError`] if a deployment cannot be built or run;
+    /// with multiple failures the earliest deployment's error wins.
     pub fn run(&self, workload: CloudletWorkload) -> Result<Figure7Result, DeploymentError> {
         let app = workload.application();
-        let mut curves = Vec::new();
-        for kind in DeploymentKind::figure7_set() {
-            let sim = build_deployment(kind, &app, 11)?;
-            let mut config =
-                SweepConfig::new(self.qps_points.clone(), self.duration_s, self.warmup_s)
-                    .seed(self.seed);
-            if let Some(rt) = workload.request_type() {
-                config = config.request_type(rt);
+        let kinds = DeploymentKind::figure7_set();
+        // The outer fan-out already occupies one core per deployment, so
+        // cap each inner sweep's worker pool to its share of the machine —
+        // otherwise 4 deployments x available_parallelism sweep workers
+        // oversubscribe the CPU.
+        let sweep_workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZero::get)
+            .div_ceil(kinds.len())
+            .max(1);
+        let mut slots: Vec<Option<Result<LatencyCurve, DeploymentError>>> =
+            kinds.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, kind) in slots.iter_mut().zip(&kinds) {
+                let app = &app;
+                scope.spawn(move || {
+                    *slot = Some(self.run_deployment(
+                        *kind,
+                        app,
+                        workload.request_type(),
+                        sweep_workers,
+                    ));
+                });
             }
-            let curve = config
-                .run(kind.label(), &sim)
-                .map_err(DeploymentError::Sim)?;
-            curves.push(curve);
+        });
+        let mut curves = Vec::with_capacity(kinds.len());
+        for slot in slots {
+            curves.push(slot.expect("every deployment slot is filled by its worker")?);
         }
         Ok(Figure7Result { workload, curves })
+    }
+
+    /// Builds and sweeps one deployment (one worker's share of the study).
+    fn run_deployment(
+        &self,
+        kind: DeploymentKind,
+        app: &Application,
+        request_type: Option<&str>,
+        sweep_workers: usize,
+    ) -> Result<LatencyCurve, DeploymentError> {
+        let sim = build_deployment(kind, app, 11)?;
+        let mut config = SweepConfig::new(self.qps_points.clone(), self.duration_s, self.warmup_s)
+            .seed(self.seed)
+            .parallelism(sweep_workers);
+        if let Some(rt) = request_type {
+            config = config.request_type(rt);
+        }
+        config.run(kind.label(), &sim).map_err(DeploymentError::Sim)
     }
 }
 

@@ -1,0 +1,768 @@
+//! The compiled simulation engine: the index-resolved, string-free hot
+//! path behind [`Simulation::run`].
+//!
+//! [`Simulation::run_reference`] is the engine's executable specification:
+//! readable, but it resolves a `BTreeMap`-of-`String` placement lookup for
+//! every call event, materialises the full arrival schedule up front and
+//! scans all of a node's cores to find the earliest-available one.
+//! [`CompiledSim`] performs all of that work once, at compile time:
+//!
+//! * every `placement.node_of(service)` lookup is resolved to a flat node
+//!   index per call;
+//! * per-(call, node) service times and shared-channel transmission times
+//!   are precomputed into dense arrays, using the *same* floating-point
+//!   expressions as the reference engine so results stay bit-identical;
+//! * the up-front `Vec` of all arrivals (plus the 4x-capacity global event
+//!   heap) is replaced by [`LazyArrivals`], which draws the next arrival
+//!   from the workload RNG only when the previous one enters the system,
+//!   keeping memory proportional to in-flight requests;
+//! * the O(cores) linear scan per call admission is replaced by a
+//!   [`CoreHeap`] min-heap of core free times.
+//!
+//! # Determinism
+//!
+//! A compiled run is bit-identical to the reference engine for the same
+//! seed. Three properties guarantee it:
+//!
+//! 1. [`LazyArrivals`] consumes the workload RNG in exactly the reference
+//!    order (one inter-arrival draw per attempt, one mix draw per accepted
+//!    arrival of an unrestricted phase).
+//! 2. Events are ordered by `(time, class, seq)` where arrivals get class
+//!    0 and derived events class 1 — the same tie-break the reference
+//!    engine achieves by numbering all arrivals before any derived event.
+//! 3. [`CoreHeap`] removes one instance of the minimum free time and
+//!    inserts the finish time, the same multiset transformation the
+//!    reference's first-minimum linear scan performs, so tied cores are
+//!    indistinguishable.
+//!
+//! The equivalence is enforced by unit tests here and by the property
+//! suite in the workspace's `tests/microsim_equivalence.rs`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{CompletedRequest, NodeUtilization, RunMetrics};
+use crate::sim::{
+    Phase, SimError, Simulation, Workload, CLIENT_REQUEST_BYTES, RPC_SYS_OVERHEAD_MS,
+};
+
+/// A min-heap of resource free times: one entry per core (or client
+/// worker), popping the earliest-available slot in O(log cores) instead of
+/// the reference engine's O(cores) scan.
+///
+/// Only free *times* are tracked, not slot identities: reserving a slot is
+/// "remove one instance of the minimum, insert the finish time", which is
+/// exactly the state transition of the reference engine's first-minimum
+/// linear scan (tied slots are indistinguishable by value).
+#[derive(Debug, Clone)]
+pub struct CoreHeap {
+    free_at: BinaryHeap<Slot>,
+}
+
+/// A free time in the heap, stored as raw `f64` bits: simulation times are
+/// non-negative and finite, where the IEEE-754 bit pattern is monotone in
+/// the value, so a single integer compare replaces `f64::total_cmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot(u64);
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we pop the smallest time.
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CoreHeap {
+    /// Creates a heap of `slots` resources, all free from `free_from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `free_from` is negative.
+    #[must_use]
+    pub fn new(slots: usize, free_from: f64) -> Self {
+        assert!(slots > 0, "a resource pool needs at least one slot");
+        assert!(
+            free_from >= 0.0,
+            "slot free times are simulation timestamps (non-negative)"
+        );
+        // Normalise -0.0 (which passes the assert) to +0.0: the raw-bit
+        // ordering is only monotone for positively signed values.
+        let free_from = free_from + 0.0;
+        let mut free_at = BinaryHeap::with_capacity(slots);
+        for _ in 0..slots {
+            free_at.push(Slot(free_from.to_bits()));
+        }
+        Self { free_at }
+    }
+
+    /// Claims the earliest-available slot for work arriving at `now` and
+    /// returns the work's start time. The caller must hand the slot back
+    /// with [`CoreHeap::finish_at`] once the finish time is known.
+    pub fn begin(&mut self, now: f64) -> f64 {
+        let Slot(avail) = self
+            .free_at
+            .pop()
+            .expect("begin/finish_at calls are paired, so a slot is free");
+        now.max(f64::from_bits(avail))
+    }
+
+    /// Returns a claimed slot to the pool, free again from `at`.
+    pub fn finish_at(&mut self, at: f64) {
+        debug_assert!(at >= 0.0, "slot free times are non-negative");
+        self.free_at.push(Slot(at.to_bits()));
+    }
+
+    /// Number of currently unclaimed slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// `true` when every slot is claimed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+}
+
+/// One pre-resolved call: target node index, per-node service times and
+/// shared-channel transmission times, all computed once at compile time.
+#[derive(Debug, Clone, Copy)]
+struct CompiledCall {
+    node: u32,
+    same_node: bool,
+    user_secs: f64,
+    sys_secs: f64,
+    request_tx_secs: f64,
+    response_tx_secs: f64,
+}
+
+/// One pre-resolved request type: flat call array with per-stage ranges.
+#[derive(Debug, Clone)]
+struct CompiledType {
+    /// `calls[lo..hi]` ranges, one per stage, in execution order.
+    stage_ranges: Vec<(u32, u32)>,
+    calls: Vec<CompiledCall>,
+    client_cost_secs: f64,
+    client_response_tx_secs: f64,
+}
+
+/// A [`Simulation`] lowered to dense index-addressed tables, ready to run
+/// workloads without any per-event string lookups or allocations.
+///
+/// Build one with [`Simulation::compile`] (or [`CompiledSim::compile`]) and
+/// reuse it across workloads — compilation resolves the placement and
+/// service-time maths once, and [`CompiledSim::run`] is `&self`, so a
+/// compiled simulation can be shared across sweep worker threads.
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    node_names: Vec<String>,
+    node_cores: Vec<u32>,
+    types: Vec<CompiledType>,
+    type_names: Vec<String>,
+    weights: Vec<f64>,
+    total_weight: f64,
+    colocated_client: bool,
+    client_workers: u32,
+    intra_secs: f64,
+    inter_secs: f64,
+    client_latency_secs: f64,
+    client_request_tx_secs: f64,
+}
+
+/// Lazily generated open-loop arrivals: `(time, request type index)` pairs
+/// drawn phase by phase from the workload RNG.
+///
+/// The iterator consumes the RNG in exactly the order of the reference
+/// engine's up-front generation loop, so the produced sequence is
+/// bit-identical — but only one arrival exists at a time instead of the
+/// whole schedule.
+#[derive(Debug, Clone)]
+pub struct LazyArrivals<'a> {
+    rng: StdRng,
+    phases: &'a [Phase],
+    fixed_types: Vec<Option<usize>>,
+    weights: &'a [f64],
+    total_weight: f64,
+    phase_idx: usize,
+    phase_start: f64,
+    t: f64,
+}
+
+impl Iterator for LazyArrivals<'_> {
+    type Item = (f64, usize);
+
+    fn next(&mut self) -> Option<(f64, usize)> {
+        while self.phase_idx < self.phases.len() {
+            let phase = &self.phases[self.phase_idx];
+            if phase.qps() > 0.0 {
+                let u: f64 = self.rng.random::<f64>().max(1e-12);
+                self.t += -u.ln() / phase.qps();
+                if self.t < self.phase_start + phase.duration_s() {
+                    let type_idx = match self.fixed_types[self.phase_idx] {
+                        Some(idx) => idx,
+                        None => {
+                            // The reference engine's weighted pick, with the
+                            // identical subtraction order.
+                            let mut pick = self.rng.random::<f64>() * self.total_weight;
+                            let mut chosen = self.weights.len() - 1;
+                            for (i, w) in self.weights.iter().enumerate() {
+                                if pick < *w {
+                                    chosen = i;
+                                    break;
+                                }
+                                pick -= w;
+                            }
+                            chosen
+                        }
+                    };
+                    return Some((self.t, type_idx));
+                }
+            }
+            // Phase exhausted (or idle): move to the next one. The draw that
+            // overshot the phase end is consumed and discarded, exactly as
+            // in the reference generation loop.
+            self.phase_start += phase.duration_s();
+            self.t = self.phase_start;
+            self.phase_idx += 1;
+        }
+        None
+    }
+}
+
+/// Event step of the compiled engine, indexing into the flat call arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CStep {
+    Arrive,
+    Dispatch { stage: u32 },
+    CallArrived { stage: u32, call: u32 },
+    CallFinished { stage: u32, call: u32 },
+    Complete,
+}
+
+/// Arrivals sort before derived events at equal times, mirroring the
+/// reference engine's all-arrivals-first sequence numbering.
+const CLASS_ARRIVAL: u128 = 0;
+const CLASS_DERIVED: u128 = 1;
+
+/// Packs the `(time, class, seq)` ordering into one integer key: the
+/// `f64` bit pattern of a non-negative time is monotone in the value, so
+/// `time bits . class bit . 63-bit seq` compares as a single `u128` —
+/// one branch per heap comparison instead of a float/class/seq cascade.
+#[inline]
+fn event_key(time: f64, class: u128, seq: u64) -> u128 {
+    debug_assert!(time >= 0.0, "event times are non-negative");
+    debug_assert!(seq < 1 << 63, "sequence numbers stay below 2^63");
+    (u128::from(time.to_bits()) << 64) | (class << 63) | u128::from(seq)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CEvent {
+    key: u128,
+    request: u32,
+    step: CStep,
+}
+
+impl CEvent {
+    /// The event's timestamp, recovered from the key's upper 64 bits.
+    #[inline]
+    fn time(&self) -> f64 {
+        f64::from_bits((self.key >> 64) as u64)
+    }
+}
+
+impl Ord for CEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: the binary heap is a max-heap, we want the
+        // earliest (time, class, seq) key first. Keys are unique (every
+        // event carries a distinct `seq`), so the pop sequence is the
+        // unique ascending key order.
+        other.key.cmp(&self.key)
+    }
+}
+
+impl PartialOrd for CEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-request state, slab-allocated and recycled on completion so the
+/// resident set tracks in-flight requests, not total arrivals.
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    arrival: f64,
+    type_idx: u32,
+    outstanding_calls: u32,
+    stage_end: f64,
+}
+
+/// Sends `tx` seconds of traffic through the shared channel at `now` and
+/// returns the delivery time (the reference engine's `send` for the
+/// cross-node / client cases).
+#[inline]
+fn via_channel(link_avail: &mut f64, now: f64, tx: f64, latency: f64) -> f64 {
+    if tx > 0.0 {
+        let start = now.max(*link_avail);
+        *link_avail = start + tx;
+        start + tx + latency
+    } else {
+        now + latency
+    }
+}
+
+impl CompiledSim {
+    /// Lowers a validated simulation into dense tables.
+    ///
+    /// All placement lookups, per-node service-time divisions and
+    /// shared-channel transmission times happen here, once, using the same
+    /// floating-point expressions as the reference engine.
+    #[must_use]
+    pub fn compile(sim: &Simulation) -> Self {
+        let app = sim.app();
+        let nodes = sim.nodes();
+        let placement = sim.placement();
+        let network = sim.network();
+        let frontend_node = placement
+            .node_of(app.frontend())
+            .expect("placement covers the frontend");
+
+        let mut types = Vec::with_capacity(app.request_types().len());
+        let mut type_names = Vec::with_capacity(app.request_types().len());
+        for request_type in app.request_types() {
+            let mut calls = Vec::new();
+            let mut stage_ranges = Vec::with_capacity(request_type.stages().len());
+            for stage in request_type.stages() {
+                let lo = u32::try_from(calls.len()).expect("call count fits u32");
+                for call in stage.calls() {
+                    let target = placement
+                        .node_of(call.service())
+                        .expect("placement covers every service");
+                    calls.push(CompiledCall {
+                        node: u32::try_from(target).expect("node count fits u32"),
+                        same_node: target == frontend_node,
+                        user_secs: nodes[target].service_secs(call.cpu_ms()),
+                        sys_secs: nodes[target].service_secs(RPC_SYS_OVERHEAD_MS),
+                        request_tx_secs: network.transmission_secs(call.request_bytes()),
+                        response_tx_secs: network.transmission_secs(call.response_bytes()),
+                    });
+                }
+                let hi = u32::try_from(calls.len()).expect("call count fits u32");
+                stage_ranges.push((lo, hi));
+            }
+            types.push(CompiledType {
+                stage_ranges,
+                calls,
+                client_cost_secs: nodes[0].service_secs(request_type.client_cost_ms()),
+                client_response_tx_secs: network
+                    .transmission_secs(request_type.response_to_client_bytes()),
+            });
+            type_names.push(request_type.name().to_owned());
+        }
+
+        let weights: Vec<f64> = app.request_types().iter().map(|r| r.weight()).collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        Self {
+            node_names: nodes.iter().map(|n| n.name().to_owned()).collect(),
+            node_cores: nodes.iter().map(crate::node::NodeSpec::cores).collect(),
+            types,
+            type_names,
+            weights,
+            total_weight,
+            colocated_client: sim.colocated_client(),
+            client_workers: app.client_workers(),
+            intra_secs: network.hop_latency_secs(true),
+            inter_secs: network.hop_latency_secs(false),
+            client_latency_secs: network.client_latency_ms() / 1_000.0,
+            client_request_tx_secs: network.transmission_secs(CLIENT_REQUEST_BYTES),
+        }
+    }
+
+    /// Position of a request type by name.
+    fn type_index(&self, name: &str) -> Result<usize, SimError> {
+        self.type_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| SimError::UnknownRequestType(name.to_owned()))
+    }
+
+    /// The lazy arrival sequence of `workload`: `(time, type index)` pairs
+    /// in time order, bit-identical to the reference engine's up-front
+    /// schedule for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequestType`] if a phase names a request
+    /// type the application does not define.
+    pub fn arrivals<'a>(&'a self, workload: &'a Workload) -> Result<LazyArrivals<'a>, SimError> {
+        let mut fixed_types = Vec::with_capacity(workload.phases().len());
+        for phase in workload.phases() {
+            fixed_types.push(match phase.request_type() {
+                Some(name) => Some(self.type_index(name)?),
+                None => None,
+            });
+        }
+        Ok(LazyArrivals {
+            rng: StdRng::seed_from_u64(workload.seed()),
+            phases: workload.phases(),
+            fixed_types,
+            weights: &self.weights,
+            total_weight: self.total_weight,
+            phase_idx: 0,
+            phase_start: 0.0,
+            t: 0.0,
+        })
+    }
+
+    /// Runs the workload through the compiled hot path and returns the
+    /// collected metrics, bit-identical to
+    /// [`Simulation::run_reference`] for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequestType`] if a phase names a request
+    /// type the application does not define.
+    pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
+        let mut arrivals = self.arrivals(workload)?;
+        let total_duration = workload.total_duration_s();
+        let buckets = total_duration.ceil() as usize + 2;
+
+        // Dense per-(node, second) accumulators, `node * buckets + second`;
+        // wrapped into `NodeUtilization` traces after the run.
+        let mut util_user: Vec<f64> = vec![0.0; self.node_cores.len() * buckets];
+        let mut util_sys: Vec<f64> = vec![0.0; self.node_cores.len() * buckets];
+        let mut cores: Vec<CoreHeap> = self
+            .node_cores
+            .iter()
+            .map(|&c| CoreHeap::new(c as usize, 0.0))
+            .collect();
+        let mut client = CoreHeap::new(self.client_workers as usize, 0.0);
+        let mut link_avail = 0.0_f64;
+
+        let mut events: BinaryHeap<CEvent> = BinaryHeap::with_capacity(256);
+        let mut states: Vec<ReqState> = Vec::with_capacity(256);
+        let mut free_slots: Vec<u32> = Vec::new();
+        // Completions are kept for the whole run (they are the output), so
+        // pre-size them from the offered load; everything else stays
+        // proportional to in-flight requests.
+        let expected_arrivals = workload
+            .phases()
+            .iter()
+            .map(|p| p.qps() * p.duration_s())
+            .sum::<f64>() as usize;
+        let mut completions: Vec<CompletedRequest> =
+            Vec::with_capacity(expected_arrivals.saturating_add(16).min(1 << 24));
+        let mut seq = 0_u64;
+        let mut offered = 0_usize;
+        let mut processed = 0_u64;
+
+        // Keeps exactly one future arrival in the queue: admit the next one
+        // when the current one enters the system.
+        fn admit(
+            arrival: Option<(f64, usize)>,
+            states: &mut Vec<ReqState>,
+            free_slots: &mut Vec<u32>,
+            events: &mut BinaryHeap<CEvent>,
+            seq: &mut u64,
+            offered: &mut usize,
+        ) {
+            let Some((t, type_idx)) = arrival else {
+                return;
+            };
+            let state = ReqState {
+                arrival: t,
+                type_idx: u32::try_from(type_idx).expect("request-type count fits u32"),
+                outstanding_calls: 0,
+                stage_end: t,
+            };
+            let slot = match free_slots.pop() {
+                Some(slot) => {
+                    states[slot as usize] = state;
+                    slot
+                }
+                None => {
+                    states.push(state);
+                    u32::try_from(states.len() - 1).expect("in-flight request count fits u32")
+                }
+            };
+            events.push(CEvent {
+                key: event_key(t, CLASS_ARRIVAL, *seq),
+                request: slot,
+                step: CStep::Arrive,
+            });
+            *seq += 1;
+            *offered += 1;
+        }
+
+        admit(
+            arrivals.next(),
+            &mut states,
+            &mut free_slots,
+            &mut events,
+            &mut seq,
+            &mut offered,
+        );
+
+        while let Some(event) = events.pop() {
+            processed += 1;
+            let now = event.time();
+            let request = event.request as usize;
+            let ty = &self.types[states[request].type_idx as usize];
+            let mut push = |time: f64, step: CStep, seq: &mut u64| {
+                events.push(CEvent {
+                    key: event_key(time, CLASS_DERIVED, *seq),
+                    request: event.request,
+                    step,
+                });
+                *seq += 1;
+            };
+
+            match event.step {
+                CStep::Arrive => {
+                    let ready = if self.colocated_client {
+                        let cost = ty.client_cost_secs;
+                        let start = client.begin(now);
+                        let end = start + cost;
+                        client.finish_at(end);
+                        end + self.intra_secs
+                    } else {
+                        via_channel(
+                            &mut link_avail,
+                            now,
+                            self.client_request_tx_secs,
+                            self.client_latency_secs,
+                        )
+                    };
+                    push(ready, CStep::Dispatch { stage: 0 }, &mut seq);
+                    admit(
+                        arrivals.next(),
+                        &mut states,
+                        &mut free_slots,
+                        &mut events,
+                        &mut seq,
+                        &mut offered,
+                    );
+                }
+                CStep::Dispatch { stage } => {
+                    let (lo, hi) = ty.stage_ranges[stage as usize];
+                    states[request].outstanding_calls = hi - lo;
+                    states[request].stage_end = now;
+                    for call_idx in lo..hi {
+                        let call = &ty.calls[call_idx as usize];
+                        let delivered = if call.same_node {
+                            now + self.intra_secs
+                        } else {
+                            via_channel(&mut link_avail, now, call.request_tx_secs, self.inter_secs)
+                        };
+                        push(
+                            delivered,
+                            CStep::CallArrived {
+                                stage,
+                                call: call_idx,
+                            },
+                            &mut seq,
+                        );
+                    }
+                }
+                CStep::CallArrived { stage, call } => {
+                    let spec = &ty.calls[call as usize];
+                    let node = spec.node as usize;
+                    let start = cores[node].begin(now);
+                    let finish = start + spec.user_secs + spec.sys_secs;
+                    cores[node].finish_at(finish);
+                    // The reference's `NodeUtilization::bucket` clamp, on
+                    // the flat accumulators.
+                    let second = (start.max(0.0).floor() as usize).min(buckets - 1);
+                    let slot = node * buckets + second;
+                    util_user[slot] += spec.user_secs;
+                    util_sys[slot] += spec.sys_secs;
+                    push(finish, CStep::CallFinished { stage, call }, &mut seq);
+                }
+                CStep::CallFinished { stage, call } => {
+                    let spec = &ty.calls[call as usize];
+                    let replied = if spec.same_node {
+                        now + self.intra_secs
+                    } else {
+                        via_channel(&mut link_avail, now, spec.response_tx_secs, self.inter_secs)
+                    };
+                    let state = &mut states[request];
+                    if replied > state.stage_end {
+                        state.stage_end = replied;
+                    }
+                    state.outstanding_calls -= 1;
+                    if state.outstanding_calls == 0 {
+                        let next_time = state.stage_end;
+                        let next_step = if (stage as usize) + 1 < ty.stage_ranges.len() {
+                            CStep::Dispatch { stage: stage + 1 }
+                        } else {
+                            CStep::Complete
+                        };
+                        push(next_time, next_step, &mut seq);
+                    }
+                }
+                CStep::Complete => {
+                    let done = if self.colocated_client {
+                        now + self.intra_secs
+                    } else {
+                        via_channel(
+                            &mut link_avail,
+                            now,
+                            ty.client_response_tx_secs,
+                            self.client_latency_secs,
+                        )
+                    };
+                    let arrival = states[request].arrival;
+                    completions.push(CompletedRequest::new(arrival, (done - arrival) * 1_000.0));
+                    free_slots.push(event.request);
+                }
+            }
+        }
+
+        let utilization: Vec<NodeUtilization> = self
+            .node_names
+            .iter()
+            .zip(&self.node_cores)
+            .enumerate()
+            .map(|(node, (name, &node_cores))| {
+                NodeUtilization::from_core_seconds(
+                    name.as_str(),
+                    node_cores,
+                    util_user[node * buckets..(node + 1) * buckets].to_vec(),
+                    util_sys[node * buckets..(node + 1) * buckets].to_vec(),
+                )
+            })
+            .collect();
+
+        Ok(
+            RunMetrics::new(total_duration, offered, completions, utilization)
+                .with_events(processed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{hotel_reservation, social_network, SN_COMPOSE_POST};
+    use crate::network::NetworkModel;
+    use crate::node::{ten_pixel_cloudlet, NodeSpec};
+    use crate::placement::Placement;
+
+    fn phone_sim(app: crate::app::Application) -> Simulation {
+        let nodes = ten_pixel_cloudlet();
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+    }
+
+    #[test]
+    fn core_heap_orders_reservations_by_free_time() {
+        let mut heap = CoreHeap::new(2, 0.0);
+        let s1 = heap.begin(0.0);
+        heap.finish_at(s1 + 5.0);
+        let s2 = heap.begin(1.0);
+        heap.finish_at(s2 + 5.0);
+        // Both cores busy until 5.0/6.0; the next reservation queues on the
+        // first-free core.
+        assert_eq!(heap.begin(2.0), 5.0);
+        heap.finish_at(7.0);
+        assert_eq!(heap.len(), 2);
+        assert!(!heap.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_core_heap_panics() {
+        let _ = CoreHeap::new(0, 0.0);
+    }
+
+    #[test]
+    fn negative_zero_free_time_is_normalised() {
+        let mut heap = CoreHeap::new(2, -0.0);
+        let start = heap.begin(0.0);
+        heap.finish_at(start + 0.001);
+        // The second core is still free from (+)0.0, so work at 0.0 starts
+        // immediately instead of queueing behind the busy core.
+        assert_eq!(heap.begin(0.0), 0.0);
+        heap.finish_at(0.002);
+    }
+
+    #[test]
+    fn lazy_arrivals_match_reference_schedule() {
+        let sim = phone_sim(hotel_reservation());
+        let compiled = sim.compile();
+        let workload = Workload::phased(
+            vec![
+                Phase::idle(1.0),
+                Phase::new(300.0, 2.0, None),
+                Phase::new(150.0, 1.0, Some("search-hotel")),
+            ],
+            9,
+        );
+        let lazy: Vec<(f64, usize)> = compiled.arrivals(&workload).unwrap().collect();
+        assert!(!lazy.is_empty());
+        // Time-ordered, inside the loaded phases only.
+        for pair in lazy.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        assert!(lazy.iter().all(|(t, _)| *t >= 1.0 && *t < 4.0));
+        // The reference engine offers exactly as many requests.
+        let reference = sim.run_reference(&workload).unwrap();
+        assert_eq!(lazy.len(), reference.offered());
+    }
+
+    #[test]
+    fn compiled_run_is_bit_identical_to_reference() {
+        let sim = phone_sim(social_network());
+        for workload in [
+            Workload::steady(800.0, 2.0, Some(SN_COMPOSE_POST), 42),
+            Workload::steady(500.0, 2.0, None, 7),
+            Workload::phased(
+                vec![
+                    Phase::idle(1.0),
+                    Phase::new(400.0, 2.0, None),
+                    Phase::idle(0.5),
+                ],
+                3,
+            ),
+        ] {
+            let reference = sim.run_reference(&workload).unwrap();
+            let compiled = sim.run(&workload).unwrap();
+            assert_eq!(reference, compiled);
+        }
+    }
+
+    #[test]
+    fn compiled_colocated_client_matches_reference() {
+        let app = social_network();
+        let nodes = vec![NodeSpec::c5("c5", 36, 72.0)];
+        let placement = Placement::single_node(&app);
+        let sim = Simulation::new(app, nodes, placement, NetworkModel::single_node_loopback())
+            .unwrap()
+            .with_colocated_client(true);
+        let workload = Workload::steady(2_500.0, 2.0, Some(SN_COMPOSE_POST), 4);
+        assert_eq!(
+            sim.run_reference(&workload).unwrap(),
+            sim.run(&workload).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_request_type_is_reported() {
+        let sim = phone_sim(hotel_reservation());
+        let err = sim
+            .compile()
+            .run(&Workload::steady(10.0, 1.0, Some("nope"), 0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownRequestType(_)));
+    }
+}

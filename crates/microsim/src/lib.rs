@@ -9,10 +9,13 @@
 //! * [`node`] — cluster nodes (phones, C5 instances) with per-core speeds.
 //! * [`placement`] — Docker-Swarm-style spreading and single-node placement.
 //! * [`network`] — shared-WiFi and loopback network models.
-//! * [`sim`] — the open-loop discrete-event engine.
+//! * [`sim`] — the open-loop discrete-event engine (and the reference
+//!   event loop that specifies its semantics).
+//! * [`compiled`] — the index-resolved, lazily-generating hot path behind
+//!   [`Simulation::run`], bit-identical to the reference engine.
 //! * [`metrics`] — latency distributions and per-node utilisation traces.
-//! * [`sweep`] — throughput sweeps (Figure 7) and the phased utilisation
-//!   scenario (Figure 8).
+//! * [`sweep`] — throughput sweeps (Figure 7, threaded across load
+//!   points) and the phased utilisation scenario (Figure 8).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod compiled;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -47,6 +51,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use app::{Application, RequestType, ServiceCall, Stage};
+pub use compiled::{CompiledSim, CoreHeap, LazyArrivals};
 pub use metrics::{LatencyStats, NodeUtilization, RunMetrics};
 pub use network::NetworkModel;
 pub use node::NodeSpec;

@@ -99,6 +99,32 @@ impl NodeUtilization {
         }
     }
 
+    /// Builds a trace from pre-accumulated per-second core-seconds — the
+    /// compiled engine accumulates into dense arrays and wraps them here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user and system traces differ in length.
+    #[must_use]
+    pub fn from_core_seconds(
+        node: impl Into<String>,
+        cores: u32,
+        user_core_seconds: Vec<f64>,
+        sys_core_seconds: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            user_core_seconds.len(),
+            sys_core_seconds.len(),
+            "user and system traces must cover the same buckets"
+        );
+        Self {
+            node: node.into(),
+            cores,
+            user_core_seconds,
+            sys_core_seconds,
+        }
+    }
+
     /// Node name.
     #[must_use]
     pub fn node(&self) -> &str {
@@ -197,12 +223,14 @@ impl CompletedRequest {
 pub struct RunMetrics {
     duration_s: f64,
     offered: usize,
+    events: u64,
     completions: Vec<CompletedRequest>,
     node_utilization: Vec<NodeUtilization>,
 }
 
 impl RunMetrics {
-    /// Assembles run metrics.
+    /// Assembles run metrics (with an event count of zero; engines attach
+    /// theirs via [`RunMetrics::with_events`]).
     #[must_use]
     pub fn new(
         duration_s: f64,
@@ -213,9 +241,25 @@ impl RunMetrics {
         Self {
             duration_s,
             offered,
+            events: 0,
             completions,
             node_utilization,
         }
+    }
+
+    /// Attaches the number of discrete events the engine processed —
+    /// the denominator of the events-per-second throughput figure the
+    /// `perf_report` harness tracks.
+    #[must_use]
+    pub fn with_events(mut self, events: u64) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Number of discrete events the engine processed during the run.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Simulated duration in seconds.
@@ -304,14 +348,35 @@ mod tests {
     }
 
     #[test]
+    fn from_core_seconds_matches_incremental_adds() {
+        let mut incremental = NodeUtilization::new("pixel-00", 8, 4);
+        incremental.add_user(1.2, 2.0);
+        incremental.add_sys(1.8, 0.5);
+        let bulk = NodeUtilization::from_core_seconds(
+            "pixel-00",
+            8,
+            vec![0.0, 2.0, 0.0, 0.0],
+            vec![0.0, 0.5, 0.0, 0.0],
+        );
+        assert_eq!(incremental, bulk);
+    }
+
+    #[test]
+    #[should_panic(expected = "same buckets")]
+    fn mismatched_core_second_traces_panic() {
+        let _ = NodeUtilization::from_core_seconds("x", 1, vec![0.0], vec![]);
+    }
+
+    #[test]
     fn run_metrics_slicing() {
         let completions = vec![
             CompletedRequest::new(0.5, 10.0),
             CompletedRequest::new(1.5, 20.0),
             CompletedRequest::new(2.5, 30.0),
         ];
-        let metrics = RunMetrics::new(3.0, 5, completions, vec![]);
+        let metrics = RunMetrics::new(3.0, 5, completions, vec![]).with_events(12);
         assert_eq!(metrics.offered(), 5);
+        assert_eq!(metrics.events_processed(), 12);
         assert_eq!(metrics.latency_stats().count(), 3);
         let sliced = metrics.latency_stats_between(1.0, 3.0);
         assert_eq!(sliced.count(), 2);

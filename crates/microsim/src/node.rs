@@ -113,6 +113,17 @@ impl NodeSpec {
     pub fn capacity_ref_cores(&self) -> f64 {
         f64::from(self.cores) * self.core_speed
     }
+
+    /// Wall-clock seconds one of this node's cores needs for `cpu_ms`
+    /// reference-core milliseconds of work.
+    ///
+    /// Both simulation engines (the reference event loop and the compiled
+    /// hot path) use this single expression, so precomputed service times
+    /// stay bit-identical to the reference's per-event arithmetic.
+    #[must_use]
+    pub fn service_secs(&self, cpu_ms: f64) -> f64 {
+        cpu_ms / 1_000.0 / self.core_speed
+    }
 }
 
 impl fmt::Display for NodeSpec {
@@ -191,5 +202,12 @@ mod tests {
     #[test]
     fn display_mentions_cores() {
         assert!(NodeSpec::pixel_3a(3).to_string().contains("cores"));
+    }
+
+    #[test]
+    fn service_secs_scales_with_core_speed() {
+        let node = NodeSpec::new("x", 4, 2.0, 1.0);
+        // 10 reference-core ms on a 2x core takes 5 ms of wall clock.
+        assert!((node.service_secs(10.0) - 0.005).abs() < 1e-12);
     }
 }

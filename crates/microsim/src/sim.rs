@@ -18,6 +18,13 @@
 //! The engine processes stage events in global time order and assigns
 //! resources greedily (earliest-available worker), which is an accurate
 //! FIFO approximation at the sub-millisecond service times involved.
+//!
+//! Two interchangeable engines implement these semantics:
+//! [`Simulation::run`] lowers the simulation into the index-resolved
+//! [`crate::compiled::CompiledSim`] hot path, while
+//! [`Simulation::run_reference`] keeps the original name-resolved event
+//! loop as an executable specification. Both are bit-identical for a
+//! given seed.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -28,13 +35,18 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::app::Application;
+use crate::compiled::CompiledSim;
 use crate::metrics::{CompletedRequest, NodeUtilization, RunMetrics};
 use crate::network::NetworkModel;
 use crate::node::NodeSpec;
 use crate::placement::Placement;
 
 /// Per-RPC system (network-stack) overhead, reference-core milliseconds.
-const RPC_SYS_OVERHEAD_MS: f64 = 0.05;
+pub(crate) const RPC_SYS_OVERHEAD_MS: f64 = 0.05;
+
+/// Size of a client's request message to the frontend, bytes (shared by
+/// both engines so their channel reservations stay bit-identical).
+pub(crate) const CLIENT_REQUEST_BYTES: f64 = 500.0;
 
 /// One phase of offered load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -221,13 +233,55 @@ impl Simulation {
         &self.placement
     }
 
+    /// The network model.
+    #[must_use]
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// `true` when the load generator runs on node 0 of the deployment.
+    #[must_use]
+    pub fn colocated_client(&self) -> bool {
+        self.colocated_client
+    }
+
+    /// Lowers the simulation into the index-resolved [`CompiledSim`] form.
+    ///
+    /// Compile once and reuse across workloads (and across threads — the
+    /// compiled engine runs by shared reference) when driving many runs of
+    /// the same deployment, as [`crate::sweep::SweepConfig`] does.
+    #[must_use]
+    pub fn compile(&self) -> CompiledSim {
+        CompiledSim::compile(self)
+    }
+
     /// Runs the workload and returns the collected metrics.
+    ///
+    /// Delegates to the compiled engine ([`CompiledSim`]), which is
+    /// bit-identical to [`Simulation::run_reference`] for a given seed.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownRequestType`] if a phase names a request
     /// type the application does not define.
     pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
+        self.compile().run(workload)
+    }
+
+    /// Runs the workload through the original, uncompiled event loop.
+    ///
+    /// This is the engine's executable specification: it resolves the
+    /// placement map per event and materialises the full arrival schedule
+    /// up front. [`CompiledSim`] must produce bit-identical [`RunMetrics`];
+    /// the equivalence suite (`tests/microsim_equivalence.rs`) and the
+    /// `des_engine` benchmarks compare the two. Prefer [`Simulation::run`]
+    /// everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequestType`] if a phase names a request
+    /// type the application does not define.
+    pub fn run_reference(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
         let type_index = |name: &str| -> Result<usize, SimError> {
             self.app
                 .request_types()
@@ -392,7 +446,9 @@ impl Simulation {
             }
         };
 
+        let mut processed = 0_u64;
         while let Some(event) = events.pop() {
+            processed += 1;
             let now = event.time;
             let type_idx = requests[event.request].type_idx;
             let request_type = &self.app.request_types()[type_idx];
@@ -409,8 +465,7 @@ impl Simulation {
             match event.step {
                 Step::Arrive => {
                     let ready = if self.colocated_client {
-                        let cost =
-                            request_type.client_cost_ms() / 1_000.0 / self.nodes[0].core_speed();
+                        let cost = self.nodes[0].service_secs(request_type.client_cost_ms());
                         let (best, _) = client_avail
                             .iter()
                             .enumerate()
@@ -420,7 +475,7 @@ impl Simulation {
                         client_avail[best] = start + cost;
                         start + cost + self.network.hop_latency_secs(true)
                     } else {
-                        send(&mut link_avail, now, false, 500.0, true)
+                        send(&mut link_avail, now, false, CLIENT_REQUEST_BYTES, true)
                     };
                     push(ready, event.request, Step::Dispatch { stage: 0 }, &mut seq);
                 }
@@ -454,8 +509,8 @@ impl Simulation {
                         .node_of(call_spec.service())
                         .expect("placement covers every service");
                     let node = &self.nodes[target];
-                    let user_secs = call_spec.cpu_ms() / 1_000.0 / node.core_speed();
-                    let sys_secs = RPC_SYS_OVERHEAD_MS / 1_000.0 / node.core_speed();
+                    let user_secs = node.service_secs(call_spec.cpu_ms());
+                    let sys_secs = node.service_secs(RPC_SYS_OVERHEAD_MS);
                     let cores = &mut core_avail[target];
                     let (best, _) = cores
                         .iter()
@@ -521,12 +576,10 @@ impl Simulation {
             }
         }
 
-        Ok(RunMetrics::new(
-            total_duration,
-            arrivals.len(),
-            completions,
-            utilization,
-        ))
+        Ok(
+            RunMetrics::new(total_duration, arrivals.len(), completions, utilization)
+                .with_events(processed),
+        )
     }
 }
 

@@ -1,8 +1,17 @@
 //! Throughput sweeps and saturation detection (Figure 7) and the two-phase
 //! utilisation scenario (Figure 8).
+//!
+//! Sweep points are independent simulations, so [`SweepConfig::run`] fans
+//! them out across `std::thread::scope` workers: the simulation is compiled
+//! once, shared by reference, and each worker writes its points into
+//! pre-assigned output slots — results are deterministic and in offered-load
+//! order regardless of scheduling.
+
+use std::thread;
 
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::CompiledSim;
 use crate::metrics::RunMetrics;
 use crate::sim::{Phase, SimError, Simulation, Workload};
 
@@ -96,6 +105,8 @@ pub struct SweepConfig {
     warmup_s: f64,
     request_type: Option<String>,
     seed: u64,
+    decorrelate_seeds: bool,
+    parallelism: Option<usize>,
 }
 
 impl SweepConfig {
@@ -120,6 +131,8 @@ impl SweepConfig {
             warmup_s,
             request_type: None,
             seed: 42,
+            decorrelate_seeds: false,
+            parallelism: None,
         }
     }
 
@@ -137,13 +150,72 @@ impl SweepConfig {
         self
     }
 
+    /// Derives a distinct seed per load point (`seed ^ point index`)
+    /// instead of reusing the sweep seed everywhere.
+    ///
+    /// By default every point replays the identical arrival sequence
+    /// (scaled to its rate), which correlates noise across the curve.
+    /// Decorrelating keeps point 0 bit-compatible with the default
+    /// (`seed ^ 0 == seed`) while giving every other point an independent
+    /// sequence.
+    #[must_use]
+    pub fn decorrelated_seeds(mut self) -> Self {
+        self.decorrelate_seeds = true;
+        self
+    }
+
+    /// Caps the number of worker threads the sweep fans out across.
+    ///
+    /// Defaults to the machine's available parallelism; `1` forces a
+    /// serial sweep (useful for benchmarking the threading win itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a sweep needs at least one worker");
+        self.parallelism = Some(workers);
+        self
+    }
+
     /// The offered-load points.
     #[must_use]
     pub fn qps_points(&self) -> &[f64] {
         &self.qps_points
     }
 
+    /// The workload seed used for the load point at `index`.
+    fn point_seed(&self, index: usize) -> u64 {
+        if self.decorrelate_seeds {
+            self.seed ^ index as u64
+        } else {
+            self.seed
+        }
+    }
+
+    /// Measures one load point against a compiled simulation.
+    fn measure_point(&self, sim: &CompiledSim, index: usize) -> Result<CurvePoint, SimError> {
+        let qps = self.qps_points[index];
+        let workload = Workload::steady(
+            qps,
+            self.warmup_s + self.duration_s,
+            self.request_type.as_deref(),
+            self.point_seed(index),
+        );
+        let metrics = sim.run(&workload)?;
+        let stats = metrics.latency_stats_between(self.warmup_s, self.warmup_s + self.duration_s);
+        Ok(CurvePoint::new(
+            qps,
+            stats.median_ms().unwrap_or(0.0),
+            stats.tail_ms().unwrap_or(0.0),
+        ))
+    }
+
     /// Runs the sweep against a simulation and collects its latency curve.
+    ///
+    /// Compiles the simulation once, then fans the load points out across
+    /// scoped worker threads (see [`SweepConfig::run_compiled`]).
     ///
     /// # Errors
     ///
@@ -153,22 +225,62 @@ impl SweepConfig {
         label: impl Into<String>,
         sim: &Simulation,
     ) -> Result<LatencyCurve, SimError> {
-        let mut points = Vec::with_capacity(self.qps_points.len());
-        for &qps in &self.qps_points {
-            let workload = Workload::steady(
-                qps,
-                self.warmup_s + self.duration_s,
-                self.request_type.as_deref(),
-                self.seed,
-            );
-            let metrics = sim.run(&workload)?;
-            let stats =
-                metrics.latency_stats_between(self.warmup_s, self.warmup_s + self.duration_s);
-            points.push(CurvePoint::new(
-                qps,
-                stats.median_ms().unwrap_or(0.0),
-                stats.tail_ms().unwrap_or(0.0),
-            ));
+        self.run_compiled(label, &sim.compile())
+    }
+
+    /// Runs the sweep against an already-compiled simulation.
+    ///
+    /// Load points are distributed over `std::thread::scope` workers in
+    /// contiguous chunks; every worker writes into its own pre-assigned
+    /// output slots, so the curve's point order and values are identical to
+    /// a serial sweep. Use this entry point to amortise one
+    /// [`Simulation::compile`] across many sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; on multiple failures the error of the
+    /// lowest-index failing point is returned.
+    pub fn run_compiled(
+        &self,
+        label: impl Into<String>,
+        sim: &CompiledSim,
+    ) -> Result<LatencyCurve, SimError> {
+        let n = self.qps_points.len();
+        let workers = self
+            .parallelism
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZero::get))
+            .min(n)
+            .max(1);
+        let mut slots: Vec<Option<Result<CurvePoint, SimError>>> = (0..n).map(|_| None).collect();
+        if workers == 1 {
+            for (index, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.measure_point(sim, index));
+            }
+        } else {
+            // Stride the points across workers (worker w takes w, w+workers,
+            // ...) rather than handing out contiguous chunks: sweeps are
+            // usually ascending in offered load and per-point cost grows
+            // with load, so chunking would pile the slowest points onto the
+            // last worker. Each point still lands in its own slot.
+            type PointSlot<'s> = (usize, &'s mut Option<Result<CurvePoint, SimError>>);
+            let mut assignments: Vec<Vec<PointSlot<'_>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (index, slot) in slots.iter_mut().enumerate() {
+                assignments[index % workers].push((index, slot));
+            }
+            thread::scope(|scope| {
+                for share in assignments {
+                    scope.spawn(move || {
+                        for (index, slot) in share {
+                            *slot = Some(self.measure_point(sim, index));
+                        }
+                    });
+                }
+            });
+        }
+        let mut points = Vec::with_capacity(n);
+        for slot in slots {
+            points.push(slot.expect("every sweep slot is filled by its worker")?);
         }
         Ok(LatencyCurve::new(label, points))
     }
@@ -307,5 +419,39 @@ mod tests {
     #[should_panic(expected = "at least one load point")]
     fn empty_sweep_panics() {
         let _ = SweepConfig::new(vec![], 1.0, 0.0);
+    }
+
+    #[test]
+    fn threaded_sweep_matches_serial_point_for_point() {
+        let sim = phone_sim();
+        let config = SweepConfig::new(vec![400.0, 900.0, 1_400.0, 1_900.0, 2_400.0], 2.0, 0.5)
+            .request_type(SN_COMPOSE_POST);
+        let serial = config.clone().parallelism(1).run("phones", &sim).unwrap();
+        let threaded = config.parallelism(4).run("phones", &sim).unwrap();
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn default_seeds_replay_the_same_sequence_across_points() {
+        let sim = phone_sim();
+        // Two identical load points: with the default correlated seeds they
+        // are the same simulation, so the same curve point.
+        let curve = SweepConfig::new(vec![700.0, 700.0], 2.0, 0.5)
+            .request_type(SN_COMPOSE_POST)
+            .run("phones", &sim)
+            .unwrap();
+        assert_eq!(curve.points()[0], curve.points()[1]);
+    }
+
+    #[test]
+    fn decorrelated_seeds_vary_across_points_but_pin_point_zero() {
+        let sim = phone_sim();
+        let base = SweepConfig::new(vec![700.0, 700.0], 2.0, 0.5).request_type(SN_COMPOSE_POST);
+        let correlated = base.clone().run("phones", &sim).unwrap();
+        let decorrelated = base.decorrelated_seeds().run("phones", &sim).unwrap();
+        // Point 0 uses seed ^ 0 == seed: bit-compatible with the default.
+        assert_eq!(correlated.points()[0], decorrelated.points()[0]);
+        // Point 1 now replays an independent arrival sequence.
+        assert_ne!(decorrelated.points()[0], decorrelated.points()[1]);
     }
 }

@@ -1,0 +1,201 @@
+//! Determinism and equivalence regression suite for the microsim engines.
+//!
+//! The compiled hot path ([`junkyard::microsim::compiled::CompiledSim`])
+//! must produce **bit-identical** `RunMetrics` to the reference event loop
+//! (`Simulation::run_reference`, the pre-refactor semantics) for every
+//! seed: same offered count, same per-request latencies in the same order,
+//! same utilisation buckets, same event count. These properties drive both
+//! engines across randomly generated applications, placements and phased
+//! workloads, and pin the threaded sweep layer to its serial baseline.
+
+use junkyard::microsim::app::{
+    hotel_reservation, social_network, Application, RequestType, ServiceCall, Stage,
+    SN_COMPOSE_POST,
+};
+use junkyard::microsim::network::NetworkModel;
+use junkyard::microsim::node::{ten_pixel_cloudlet, NodeSpec};
+use junkyard::microsim::placement::Placement;
+use junkyard::microsim::service::{ServiceKind, ServiceSpec};
+use junkyard::microsim::sim::{Phase, Simulation, Workload};
+use junkyard::microsim::sweep::SweepConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random but structurally valid application from a seed: 3–10
+/// services, 1–3 request types of 1–4 stages with 1–3 calls each, every
+/// call referencing a declared service.
+fn random_app(seed: u64) -> Application {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_services = 3 + (rng.random::<u32>() % 8) as usize;
+    let kinds = [
+        ServiceKind::Frontend,
+        ServiceKind::Logic,
+        ServiceKind::Cache,
+        ServiceKind::Storage,
+    ];
+    let services: Vec<ServiceSpec> = (0..n_services)
+        .map(|i| {
+            let kind = if i == 0 {
+                ServiceKind::Frontend
+            } else {
+                kinds[(rng.random::<u32>() % 4) as usize]
+            };
+            ServiceSpec::new(format!("svc-{i}"), kind, 0.05 + rng.random::<f64>() * 0.4)
+        })
+        .collect();
+
+    let n_types = 1 + (rng.random::<u32>() % 3) as usize;
+    let request_types: Vec<RequestType> = (0..n_types)
+        .map(|t| {
+            let n_stages = 1 + (rng.random::<u32>() % 4) as usize;
+            let stages: Vec<Stage> = (0..n_stages)
+                .map(|_| {
+                    let n_calls = 1 + (rng.random::<u32>() % 3) as usize;
+                    Stage::parallel(
+                        (0..n_calls)
+                            .map(|_| {
+                                let target = (rng.random::<u32>() as usize) % n_services;
+                                ServiceCall::new(
+                                    format!("svc-{target}"),
+                                    0.1 + rng.random::<f64>() * 2.5,
+                                    100.0 + rng.random::<f64>() * 1_500.0,
+                                    100.0 + rng.random::<f64>() * 2_500.0,
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            RequestType::new(format!("req-{t}"), 0.1 + rng.random::<f64>(), stages)
+                .client_cpu_ms(0.1 + rng.random::<f64>())
+                .client_response_bytes(200.0 + rng.random::<f64>() * 4_000.0)
+        })
+        .collect();
+
+    Application::new("random-app", "svc-0", services, request_types)
+}
+
+/// A cluster of 2–5 generously sized nodes so every random app fits.
+fn random_cluster(seed: u64) -> Vec<NodeSpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A5);
+    let n_nodes = 2 + (rng.random::<u32>() % 4) as usize;
+    (0..n_nodes)
+        .map(|i| {
+            NodeSpec::new(
+                format!("node-{i}"),
+                2 + rng.random::<u32>() % 7,
+                0.4 + rng.random::<f64>() * 1.2,
+                4.0 + rng.random::<f64>() * 4.0,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random app + random placement + steady workload: the compiled engine
+    /// reproduces the reference metrics exactly, on both network models.
+    #[test]
+    fn compiled_engine_matches_reference_on_random_scenarios(
+        app_seed in 0u64..1_000_000,
+        placement_seed in 0u64..1_000,
+        workload_seed in 0u64..1_000_000,
+        qps in 50.0f64..1_200.0,
+        duration in 0.5f64..1.5,
+        wifi in 0u8..2,
+    ) {
+        let app = random_app(app_seed);
+        let nodes = random_cluster(app_seed);
+        let placement = Placement::swarm_spread(&app, &nodes, placement_seed).unwrap();
+        let network = if wifi == 1 {
+            NetworkModel::phone_wifi()
+        } else {
+            NetworkModel::single_node_loopback()
+        };
+        let sim = Simulation::new(app, nodes, placement, network).unwrap();
+        let workload = Workload::steady(qps, duration, None, workload_seed);
+        let reference = sim.run_reference(&workload).unwrap();
+        let compiled = sim.run(&workload).unwrap();
+        prop_assert_eq!(&reference, &compiled);
+        prop_assert_eq!(reference.events_processed(), compiled.events_processed());
+    }
+
+    /// Phased workloads (idle gaps, per-phase type restrictions, colocated
+    /// clients) on the built-in applications stay bit-identical too.
+    #[test]
+    fn compiled_engine_matches_reference_on_phased_builtins(
+        workload_seed in 0u64..1_000_000,
+        qps_a in 100.0f64..1_500.0,
+        qps_b in 100.0f64..1_500.0,
+        social in 0u8..2,
+        colocated in 0u8..2,
+    ) {
+        let app = if social == 1 { social_network() } else { hotel_reservation() };
+        let restricted = if social == 1 { Some(SN_COMPOSE_POST) } else { None };
+        let sim = if colocated == 1 {
+            let nodes = vec![NodeSpec::c5("c5", 36, 72.0)];
+            let placement = Placement::single_node(&app);
+            Simulation::new(app, nodes, placement, NetworkModel::single_node_loopback())
+                .unwrap()
+                .with_colocated_client(true)
+        } else {
+            let nodes = ten_pixel_cloudlet();
+            let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+            Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+        };
+        let workload = Workload::phased(
+            vec![
+                Phase::idle(0.5),
+                Phase::new(qps_a, 1.0, None),
+                Phase::idle(0.25),
+                Phase::new(qps_b, 1.0, restricted),
+            ],
+            workload_seed,
+        );
+        let reference = sim.run_reference(&workload).unwrap();
+        let compiled = sim.run(&workload).unwrap();
+        prop_assert_eq!(reference, compiled);
+    }
+
+    /// The threaded sweep produces the same curve as a serial sweep, in the
+    /// same point order, for any worker count.
+    #[test]
+    fn threaded_sweeps_match_serial_sweeps(
+        seed in 0u64..100_000,
+        workers in 2usize..6,
+        decorrelate in 0u8..2,
+    ) {
+        let app = hotel_reservation();
+        let nodes = ten_pixel_cloudlet();
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        let sim = Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap();
+        let mut config = SweepConfig::new(vec![300.0, 800.0, 1_300.0, 1_800.0, 2_300.0], 1.0, 0.5)
+            .seed(seed);
+        if decorrelate == 1 {
+            config = config.decorrelated_seeds();
+        }
+        let serial = config.clone().parallelism(1).run("hotel", &sim).unwrap();
+        let threaded = config.parallelism(workers).run("hotel", &sim).unwrap();
+        prop_assert_eq!(serial, threaded);
+    }
+}
+
+/// The headline determinism guarantee, spelled out: two runs of the same
+/// seed produce equal metrics, through both engines, and the engines agree
+/// with each other.
+#[test]
+fn runs_are_deterministic_and_engines_agree() {
+    let app = social_network();
+    let nodes = ten_pixel_cloudlet();
+    let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+    let sim = Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap();
+    let workload = Workload::steady(900.0, 2.0, Some(SN_COMPOSE_POST), 77);
+    let a = sim.run(&workload).unwrap();
+    let b = sim.run(&workload).unwrap();
+    let reference = sim.run_reference(&workload).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, reference);
+    assert!(a.events_processed() > 0);
+}
