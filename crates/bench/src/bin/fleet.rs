@@ -1,0 +1,38 @@
+//! Fleet study: carbon-aware routing across two junk-phone cloudlets and a
+//! datacenter backend under a diurnal load, versus the paper's static
+//! placement — the coupled extension of Figures 7–9.
+//!
+//! Runs a reduced study by default; set `JUNKYARD_FULL=1` for the
+//! 24-window full-scale day (slower).
+use junkyard_bench::{emit_chart, emit_table, full_scale};
+use junkyard_core::fleet_study::FleetStudy;
+
+fn main() {
+    let study = if full_scale() {
+        FleetStudy::paper_scale()
+    } else {
+        FleetStudy::quick()
+    };
+    let result = study.run().expect("the fleet builds and runs");
+    emit_chart(&result.chart());
+    emit_table(&result.table());
+    let base = result
+        .baseline()
+        .grams_per_request()
+        .expect("the schedule offers traffic");
+    let aware = result
+        .carbon_aware()
+        .grams_per_request()
+        .expect("the schedule offers traffic");
+    println!("static placement:     {:.4} mgCO2e/request", base * 1_000.0);
+    println!(
+        "carbon-aware routing: {:.4} mgCO2e/request",
+        aware * 1_000.0
+    );
+    println!(
+        "carbon-aware saves {:.1}% ({} windows, {} sites)",
+        result.savings_percent(),
+        result.baseline().windows(),
+        result.baseline().site_names().len(),
+    );
+}

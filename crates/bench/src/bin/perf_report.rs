@@ -1,14 +1,16 @@
 //! Engine performance report: runs fixed microsim scenarios (the two
 //! DeathStarBench applications at three load points each, plus a serial
-//! versus threaded sweep) with wall-clock timing and writes the numbers to
-//! `BENCH_microsim.json` so the engine's perf trajectory is tracked across
-//! PRs.
+//! versus threaded sweep and the quick fleet study) with wall-clock timing
+//! and writes the numbers to `BENCH_microsim.json` so the engine's perf
+//! trajectory — including the coupled fleet path — is tracked across PRs.
 //!
 //! Usage: `cargo run --release --bin perf_report [output.json]`
 //! (default output path: `BENCH_microsim.json` in the working directory).
 
 use std::fmt::Write as _;
 use std::time::Instant;
+
+use junkyard_core::fleet_study::FleetStudy;
 
 use junkyard_microsim::app::{hotel_reservation, social_network, SN_COMPOSE_POST};
 use junkyard_microsim::compiled::CompiledSim;
@@ -114,6 +116,14 @@ fn main() {
         "threaded sweeps must be point-identical to serial ones"
     );
 
+    // The coupled fleet path: the quick two-region study (both routing
+    // policies), timed end to end so regressions in the fleet layer show
+    // up alongside the engine scenarios.
+    let fleet_start = Instant::now();
+    let fleet = FleetStudy::quick().run().expect("the fleet study runs");
+    let fleet_wall_ms = fleet_start.elapsed().as_secs_f64() * 1_000.0;
+    let fleet_cells = fleet.baseline().cells().len() + fleet.carbon_aware().cells().len();
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"microsim_engine\",\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
@@ -138,13 +148,24 @@ fn main() {
             if i + 1 < scenarios.len() { "," } else { "" },
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  ],\n  \"sweep\": {{\"points\": {}, \"wall_ms_serial\": {:.3}, \
-         \"wall_ms_threaded\": {:.3}}}\n}}\n",
+         \"wall_ms_threaded\": {:.3}}},",
         sweep_points.len(),
         sweep_serial_ms,
         sweep_threaded_ms,
+    );
+    let _ = write!(
+        json,
+        "  \"fleet\": {{\"windows\": {}, \"sites\": {}, \"cells\": {}, \"wall_ms\": {:.3}, \
+         \"static_mg_per_request\": {:.6}, \"carbon_aware_mg_per_request\": {:.6}}}\n}}\n",
+        fleet.baseline().windows(),
+        fleet.baseline().site_names().len(),
+        fleet_cells,
+        fleet_wall_ms,
+        fleet.baseline().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        fleet.carbon_aware().grams_per_request().unwrap_or(0.0) * 1_000.0,
     );
 
     std::fs::write(&output, &json).expect("report file is writable");
@@ -171,5 +192,13 @@ fn main() {
         sweep_points.len(),
         sweep_serial_ms,
         sweep_threaded_ms
+    );
+    println!(
+        "  fleet study ({} cells across both policies): {:.1} ms, \
+         static {:.4} vs carbon-aware {:.4} mgCO2e/request",
+        fleet_cells,
+        fleet_wall_ms,
+        fleet.baseline().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        fleet.carbon_aware().grams_per_request().unwrap_or(0.0) * 1_000.0,
     );
 }

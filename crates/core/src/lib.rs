@@ -14,6 +14,7 @@
 //! | [`energy_mix`] | Figure 6 |
 //! | [`datacenter_study`] | Table 4 and the PUE comparison |
 //! | [`deployments`], [`cloudlet_study`] | Figures 7, 8 and 9 |
+//! | [`fleet_study`] | the coupled carbon-aware fleet extension of Figs. 7–9 |
 //! | [`cost_study`] | the Section 6.2 cost comparison |
 //!
 //! Results are returned as [`report::Table`] and [`report::Chart`] values
@@ -41,6 +42,7 @@ pub mod cost_study;
 pub mod datacenter_study;
 pub mod deployments;
 pub mod energy_mix;
+pub mod fleet_study;
 pub mod report;
 pub mod single_device;
 pub mod tables;
@@ -51,6 +53,7 @@ pub use cloudlet_study::{CloudletWorkload, Figure7Result, Figure7Study};
 pub use cluster_cci::ClusterCciStudy;
 pub use datacenter_study::DatacenterStudy;
 pub use deployments::{build_deployment, DeploymentKind};
+pub use fleet_study::{FleetStudy, FleetStudyResult};
 pub use report::{Chart, SeriesLine, Table};
 pub use single_device::SingleDeviceStudy;
 pub use thermal_study::{run_thermal_study, ThermalStudyResult};

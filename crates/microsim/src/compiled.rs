@@ -25,8 +25,9 @@
 //! seed. Three properties guarantee it:
 //!
 //! 1. [`LazyArrivals`] consumes the workload RNG in exactly the reference
-//!    order (one inter-arrival draw per attempt, one mix draw per accepted
-//!    arrival of an unrestricted phase).
+//!    order (one inter-arrival draw per attempt, one thinning draw per
+//!    candidate of a ramp phase, one mix draw per accepted arrival of an
+//!    unrestricted phase).
 //! 2. Events are ordered by `(time, class, seq)` where arrivals get class
 //!    0 and derived events class 1 — the same tie-break the reference
 //!    engine achieves by numbering all arrivals before any derived event.
@@ -204,10 +205,23 @@ impl Iterator for LazyArrivals<'_> {
     fn next(&mut self) -> Option<(f64, usize)> {
         while self.phase_idx < self.phases.len() {
             let phase = &self.phases[self.phase_idx];
-            if phase.qps() > 0.0 {
+            let peak = phase.peak_qps();
+            if peak > 0.0 {
                 let u: f64 = self.rng.random::<f64>().max(1e-12);
-                self.t += -u.ln() / phase.qps();
+                self.t += -u.ln() / peak;
                 if self.t < self.phase_start + phase.duration_s() {
+                    if phase.is_ramp() {
+                        // Thinning for time-varying phases: candidates are
+                        // drawn at the peak rate and accepted with
+                        // probability rate(t)/peak — the identical draw
+                        // order as the reference generation loop. A
+                        // rejected candidate stays in this phase and draws
+                        // the next candidate.
+                        let accept: f64 = self.rng.random();
+                        if accept * peak > phase.rate_at(self.t - self.phase_start) {
+                            continue;
+                        }
+                    }
                     let type_idx = match self.fixed_types[self.phase_idx] {
                         Some(idx) => idx,
                         None => {
@@ -458,7 +472,7 @@ impl CompiledSim {
         let expected_arrivals = workload
             .phases()
             .iter()
-            .map(|p| p.qps() * p.duration_s())
+            .map(|p| p.mean_qps() * p.duration_s())
             .sum::<f64>() as usize;
         let mut completions: Vec<CompletedRequest> =
             Vec::with_capacity(expected_arrivals.saturating_add(16).min(1 << 24));
@@ -734,11 +748,55 @@ mod tests {
                 ],
                 3,
             ),
+            Workload::phased(
+                vec![
+                    Phase::ramp(100.0, 900.0, 2.0, None),
+                    Phase::ramp(900.0, 200.0, 1.5, Some(SN_COMPOSE_POST)),
+                ],
+                11,
+            ),
         ] {
             let reference = sim.run_reference(&workload).unwrap();
             let compiled = sim.run(&workload).unwrap();
             assert_eq!(reference, compiled);
         }
+    }
+
+    #[test]
+    fn ramp_arrivals_follow_the_time_varying_rate() {
+        let sim = phone_sim(hotel_reservation());
+        let compiled = sim.compile();
+        // A 0 -> 1,000 qps ramp over 8 s offers ~4,000 requests, three
+        // quarters of them in the second half.
+        let workload = Workload::phased(vec![Phase::ramp(0.0, 1_000.0, 8.0, None)], 5);
+        let arrivals: Vec<(f64, usize)> = compiled.arrivals(&workload).unwrap().collect();
+        let total = arrivals.len() as f64;
+        assert!((3_400.0..4_600.0).contains(&total), "offered {total}");
+        let second_half = arrivals.iter().filter(|(t, _)| *t >= 4.0).count() as f64;
+        let share = second_half / total;
+        assert!(
+            (0.70..0.80).contains(&share),
+            "second-half share {share} should be ~0.75"
+        );
+        // Arrival times stay ordered and inside the phase.
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        assert!(arrivals.iter().all(|(t, _)| (0.0..8.0).contains(t)));
+    }
+
+    #[test]
+    fn flat_ramp_is_bit_identical_to_a_constant_phase() {
+        // A ramp with equal endpoints takes the constant-phase path (no
+        // thinning draw), so the arrival stream is unchanged.
+        let sim = phone_sim(social_network());
+        let compiled = sim.compile();
+        let constant = Workload::phased(vec![Phase::new(600.0, 2.0, None)], 9);
+        let flat_ramp = Workload::phased(vec![Phase::ramp(600.0, 600.0, 2.0, None)], 9);
+        let a: Vec<(f64, usize)> = compiled.arrivals(&constant).unwrap().collect();
+        let b: Vec<(f64, usize)> = compiled.arrivals(&flat_ramp).unwrap().collect();
+        assert_eq!(a, b);
+        assert_eq!(sim.run(&constant).unwrap(), sim.run(&flat_ramp).unwrap());
     }
 
     #[test]

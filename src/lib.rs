@@ -15,6 +15,9 @@
 //!   peripherals, PUE).
 //! * [`microsim`] — the discrete-event microservice cloudlet simulator that
 //!   stands in for the paper's physical DeathStarBench testbed.
+//! * [`fleet`] — the carbon-aware cloudlet fleet layer: diurnal load
+//!   schedules, grid-region mapping, static versus carbon-aware routing
+//!   and fleet-wide gCO2e-per-request accounting.
 //! * [`core`] — the high-level studies that regenerate each table and
 //!   figure of the paper.
 //!
@@ -39,6 +42,7 @@ pub use junkyard_carbon as carbon;
 pub use junkyard_cluster as cluster;
 pub use junkyard_core as core;
 pub use junkyard_devices as devices;
+pub use junkyard_fleet as fleet;
 pub use junkyard_grid as grid;
 pub use junkyard_microsim as microsim;
 pub use junkyard_thermal as thermal;

@@ -159,6 +159,33 @@ proptest! {
         prop_assert_eq!(reference, compiled);
     }
 
+    /// Time-varying (ramp) phases stay bit-identical too: the compiled
+    /// engine's lazy thinning consumes the RNG in the reference order.
+    #[test]
+    fn compiled_engine_matches_reference_on_ramp_workloads(
+        workload_seed in 0u64..1_000_000,
+        qps_a in 0.0f64..1_200.0,
+        qps_b in 100.0f64..1_500.0,
+        social in 0u8..2,
+    ) {
+        let app = if social == 1 { social_network() } else { hotel_reservation() };
+        let restricted = if social == 1 { Some(SN_COMPOSE_POST) } else { None };
+        let nodes = ten_pixel_cloudlet();
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        let sim = Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap();
+        let workload = Workload::phased(
+            vec![
+                Phase::ramp(qps_a, qps_b, 1.0, None),
+                Phase::idle(0.25),
+                Phase::ramp(qps_b, qps_a, 1.0, restricted),
+            ],
+            workload_seed,
+        );
+        let reference = sim.run_reference(&workload).unwrap();
+        let compiled = sim.run(&workload).unwrap();
+        prop_assert_eq!(reference, compiled);
+    }
+
     /// The threaded sweep produces the same curve as a serial sweep, in the
     /// same point order, for any worker count.
     #[test]
