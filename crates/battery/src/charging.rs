@@ -64,16 +64,27 @@ impl SmartChargePolicy {
     /// threshold rule.
     ///
     /// While plugged in the wall supplies both the device and the charger,
-    /// so the battery gains `max_charge_power` and loses `device_power`
-    /// during the rest of the cycle.
+    /// so the battery *stores* `max_charge_power x charge_efficiency` (the
+    /// charger rating is wall-side) and loses `device_power` during the
+    /// rest of the cycle; a lossy pack therefore needs a proportionally
+    /// larger charging share.
     #[must_use]
     pub fn required_charging_fraction(self, device_power: Watts, battery: BatterySpec) -> f64 {
-        let charge = battery.max_charge_power().value();
+        let stored = battery.max_charge_power().value() * battery.charge_efficiency();
         let load = device_power.value();
-        if charge <= 0.0 {
+        if stored <= 0.0 {
             return 1.0;
         }
-        (load / (load + charge)).clamp(0.0, 1.0)
+        (load / (load + stored)).clamp(0.0, 1.0)
+    }
+
+    /// The percentile (0–100) the threshold rule evaluates: the required
+    /// charging fraction with headroom, clamped to `[1, 100]`.
+    #[must_use]
+    pub fn charging_percentile(self, device_power: Watts, battery: BatterySpec) -> f64 {
+        let fraction =
+            self.required_charging_fraction(device_power, battery) * self.percentile_headroom;
+        (fraction * 100.0).clamp(1.0, 100.0)
     }
 
     /// The charging threshold for a day, given the previous day's intensity
@@ -86,10 +97,7 @@ impl SmartChargePolicy {
         device_power: Watts,
         battery: BatterySpec,
     ) -> CarbonIntensity {
-        let fraction =
-            self.required_charging_fraction(device_power, battery) * self.percentile_headroom;
-        let percentile = (fraction * 100.0).clamp(1.0, 100.0);
-        previous_day.percentile(percentile)
+        previous_day.percentile(self.charging_percentile(device_power, battery))
     }
 
     /// Decides whether to charge right now.
@@ -164,6 +172,21 @@ mod tests {
         let laptop = policy
             .required_charging_fraction(Watts::new(11.47), BatterySpec::thinkpad_x1_carbon_g3());
         assert!(laptop > pixel);
+    }
+
+    #[test]
+    fn lossy_packs_need_a_larger_charging_share() {
+        // Regression: the fraction must size against the *stored* rate —
+        // a 50%-efficient charger banks half the wall power, doubling the
+        // effective plugged-in time the policy budgets for.
+        let policy = SmartChargePolicy::paper_default();
+        let load = Watts::new(1.54);
+        let lossless = policy.required_charging_fraction(load, BatterySpec::pixel_3a());
+        let lossy = policy
+            .required_charging_fraction(load, BatterySpec::pixel_3a().with_charge_efficiency(0.5));
+        assert!(lossy > lossless, "lossy {lossy} vs lossless {lossless}");
+        let expected = 1.54 / (1.54 + 18.0 * 0.5);
+        assert!((lossy - expected).abs() < 1e-12);
     }
 
     #[test]

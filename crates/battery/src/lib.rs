@@ -36,6 +36,6 @@ pub mod state;
 pub mod trace_ext;
 
 pub use charging::{ChargeDecision, SmartChargePolicy};
-pub use sim::{DayOutcome, SmartChargingConfig, SmartChargingOutcome};
+pub use sim::{simulate_day, DayOutcome, DayRun, SmartChargingConfig, SmartChargingOutcome};
 pub use state::BatteryState;
 pub use trace_ext::DayStats;

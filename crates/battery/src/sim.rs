@@ -17,7 +17,7 @@ use junkyard_grid::trace::IntensityTrace;
 
 use crate::charging::SmartChargePolicy;
 use crate::state::BatteryState;
-use crate::trace_ext::DayStats;
+use crate::trace_ext::{sorted_percentile, DayStats};
 
 /// Configuration of one smart-charging simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +74,11 @@ impl SmartChargingConfig {
     /// Runs the simulation over `trace`, which must cover at least one whole
     /// day.
     ///
+    /// Day 0 has no previous day to derive a threshold from, so it runs as
+    /// an explicit warm-up day (see [`simulate_day`]'s causal prior) and is
+    /// flagged via [`DayOutcome::is_warmup`]; the savings statistics exclude
+    /// warm-up days.
+    ///
     /// # Panics
     ///
     /// Panics if the trace covers less than one whole day.
@@ -92,46 +97,24 @@ impl SmartChargingConfig {
         for day_index in 0..day_count {
             let day_trace = trace.day(day_index).expect("day within trace");
             let stats = DayStats::from_trace(&day_trace);
-            let threshold_source = previous_stats.as_ref().unwrap_or(&stats);
-            let threshold =
-                self.policy
-                    .threshold(threshold_source, self.device_power, self.battery);
-
-            let mut baseline = GramsCo2e::ZERO;
-            let mut smart = GramsCo2e::ZERO;
             let mut charging_flags = Vec::with_capacity(day_trace.len());
-
-            for (_, intensity) in day_trace.iter() {
-                if battery.is_worn_out() {
-                    battery.replace();
-                }
-                let decision =
-                    self.policy
-                        .should_charge(battery.state_of_charge(), intensity, threshold);
-                let device_energy = self.device_power * step;
-                baseline += intensity.emissions_for(device_energy);
-                if decision.is_charging() {
-                    let into_battery = battery.charge_from_wall(step);
-                    smart += intensity.emissions_for(device_energy + into_battery);
-                    charging_flags.push(true);
-                } else {
-                    let shortfall = battery.discharge(self.device_power, step);
-                    if shortfall.value() > 0.0 {
-                        // Pack emptied mid-interval: the remainder comes from
-                        // the wall regardless of the grid.
-                        smart += intensity.emissions_for(shortfall);
-                    }
-                    charging_flags.push(false);
-                }
-            }
-
+            let warmup = previous_stats.is_none();
+            let run = simulate_day(
+                self.policy,
+                self.device_power,
+                &mut battery,
+                &day_trace,
+                previous_stats.as_ref(),
+                Some(&mut charging_flags),
+            );
             days.push(DayOutcome {
                 day_index,
-                threshold,
-                baseline_carbon: baseline,
-                smart_carbon: smart,
+                threshold: run.threshold(),
+                baseline_carbon: run.baseline_carbon(),
+                smart_carbon: run.smart_carbon(),
                 charging_flags,
                 step,
+                warmup,
             });
             previous_stats = Some(stats);
         }
@@ -140,7 +123,122 @@ impl SmartChargingConfig {
             label: self.label.clone(),
             days,
             battery_replacements: battery.replacements(),
+            replacement_carbon: battery.replacement_carbon(),
+            amortized_replacement_carbon: battery.amortized_replacement_carbon(),
         }
+    }
+}
+
+/// Carbon ledger of one simulated day of smart charging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayRun {
+    threshold: CarbonIntensity,
+    baseline_carbon: GramsCo2e,
+    smart_carbon: GramsCo2e,
+    packs_replaced: u32,
+}
+
+impl DayRun {
+    /// The charging threshold in force at the day's last decision (fixed
+    /// all day when a previous day seeded it).
+    #[must_use]
+    pub fn threshold(&self) -> CarbonIntensity {
+        self.threshold
+    }
+
+    /// Carbon a device drawing wall power continuously would have emitted.
+    #[must_use]
+    pub fn baseline_carbon(&self) -> GramsCo2e {
+        self.baseline_carbon
+    }
+
+    /// Carbon emitted under smart charging.
+    #[must_use]
+    pub fn smart_carbon(&self) -> GramsCo2e {
+        self.smart_carbon
+    }
+
+    /// Worn-out packs replaced during the day.
+    #[must_use]
+    pub fn packs_replaced(&self) -> u32 {
+        self.packs_replaced
+    }
+}
+
+/// Steps one day of smart charging, mutating `battery` in place, and
+/// returns the day's carbon ledger. This is the primitive shared by
+/// [`SmartChargingConfig::run`] and the fleet lifecycle simulator, which
+/// integrates per-device wear across multi-year horizons.
+///
+/// With `previous_day` statistics the threshold is fixed for the whole day
+/// (the paper's rule). Without them — a warm-up day with no history — the
+/// threshold is built *causally* from the samples already observed: zero
+/// before the first observation (so the device charges only on the backup
+/// floor), then the policy percentile of the sorted prefix of strictly
+/// earlier samples. No decision ever reads same-day future samples, unlike
+/// the old behaviour of deriving day 0's threshold from day 0's own
+/// full-day statistics.
+///
+/// `charging_flags`, when provided, receives one `true`/`false` per sample
+/// (plugged in or on battery), for Figure 4-style shading.
+#[must_use]
+pub fn simulate_day(
+    policy: SmartChargePolicy,
+    device_power: Watts,
+    battery: &mut BatteryState,
+    day_trace: &IntensityTrace,
+    previous_day: Option<&DayStats>,
+    mut charging_flags: Option<&mut Vec<bool>>,
+) -> DayRun {
+    let step = day_trace.step();
+    let spec = battery.spec();
+    let fixed_threshold = previous_day.map(|stats| policy.threshold(stats, device_power, spec));
+    let percentile = policy.charging_percentile(device_power, spec);
+    let mut prefix: Vec<f64> = Vec::new();
+    let start_replacements = battery.replacements();
+    let mut baseline = GramsCo2e::ZERO;
+    let mut smart = GramsCo2e::ZERO;
+    let mut threshold = fixed_threshold.unwrap_or(CarbonIntensity::ZERO);
+
+    for (_, intensity) in day_trace.iter() {
+        if battery.is_worn_out() {
+            battery.replace();
+        }
+        if fixed_threshold.is_none() {
+            threshold = sorted_percentile(&prefix, percentile);
+        }
+        let decision = policy.should_charge(battery.state_of_charge(), intensity, threshold);
+        let device_energy = device_power * step;
+        baseline += intensity.emissions_for(device_energy);
+        if decision.is_charging() {
+            let from_wall = battery.charge_from_wall(step);
+            smart += intensity.emissions_for(device_energy + from_wall);
+            if let Some(flags) = charging_flags.as_deref_mut() {
+                flags.push(true);
+            }
+        } else {
+            let shortfall = battery.discharge(device_power, step);
+            if shortfall.value() > 0.0 {
+                // Pack emptied mid-interval: the remainder comes from
+                // the wall regardless of the grid.
+                smart += intensity.emissions_for(shortfall);
+            }
+            if let Some(flags) = charging_flags.as_deref_mut() {
+                flags.push(false);
+            }
+        }
+        if fixed_threshold.is_none() {
+            let value = intensity.grams_per_kwh();
+            let at = prefix.partition_point(|x| *x <= value);
+            prefix.insert(at, value);
+        }
+    }
+
+    DayRun {
+        threshold,
+        baseline_carbon: baseline,
+        smart_carbon: smart,
+        packs_replaced: battery.replacements() - start_replacements,
     }
 }
 
@@ -153,6 +251,7 @@ pub struct DayOutcome {
     smart_carbon: GramsCo2e,
     charging_flags: Vec<bool>,
     step: TimeSpan,
+    warmup: bool,
 }
 
 impl DayOutcome {
@@ -160,6 +259,14 @@ impl DayOutcome {
     #[must_use]
     pub fn day_index(&self) -> usize {
         self.day_index
+    }
+
+    /// `true` for warm-up days: days with no previous-day history, run on
+    /// the causal prior (see [`simulate_day`]) and excluded from the
+    /// savings statistics. Day 0 of every run is a warm-up day.
+    #[must_use]
+    pub fn is_warmup(&self) -> bool {
+        self.warmup
     }
 
     /// The carbon-intensity threshold used for green charging that day.
@@ -219,6 +326,8 @@ pub struct SmartChargingOutcome {
     label: String,
     days: Vec<DayOutcome>,
     battery_replacements: u32,
+    replacement_carbon: GramsCo2e,
+    amortized_replacement_carbon: GramsCo2e,
 }
 
 impl SmartChargingOutcome {
@@ -240,13 +349,73 @@ impl SmartChargingOutcome {
         self.battery_replacements
     }
 
-    /// Daily savings percentages, skipping day 0 (which has no previous day
-    /// to derive a threshold from and starts with an artificially full pack).
+    /// Embodied carbon of the packs actually replaced during the run
+    /// (whole packs only; zero until the first pack wears out).
+    #[must_use]
+    pub fn replacement_carbon(&self) -> GramsCo2e {
+        self.replacement_carbon
+    }
+
+    /// Replacement embodied carbon amortised over the wear the simulated
+    /// schedule actually accrued: pack embodied × (equivalent cycles /
+    /// cycle life), continuous in time, so a month-long run is charged its
+    /// fair share of the pack it is consuming instead of rounding to whole
+    /// replacements (see
+    /// [`BatteryState::amortized_replacement_carbon`]).
+    #[must_use]
+    pub fn amortized_replacement_carbon(&self) -> GramsCo2e {
+        self.amortized_replacement_carbon
+    }
+
+    /// Total baseline (always-on-wall) carbon across every simulated day.
+    #[must_use]
+    pub fn total_baseline_carbon(&self) -> GramsCo2e {
+        self.days.iter().map(DayOutcome::baseline_carbon).sum()
+    }
+
+    /// Total smart-charging carbon across every simulated day, excluding
+    /// battery-replacement embodied carbon.
+    #[must_use]
+    pub fn total_smart_carbon(&self) -> GramsCo2e {
+        self.days.iter().map(DayOutcome::smart_carbon).sum()
+    }
+
+    /// Whole-period operational savings in percent, *ignoring* battery
+    /// wear — the figure the savings statistics above describe per day.
+    #[must_use]
+    pub fn gross_savings_percent(&self) -> f64 {
+        let baseline = self.total_baseline_carbon().grams();
+        if baseline <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.total_smart_carbon().grams() / baseline) * 100.0
+    }
+
+    /// Whole-period savings in percent *net of battery wear*: the smart
+    /// side is charged the replacement embodied carbon amortised over the
+    /// simulated days ([`Self::amortized_replacement_carbon`]), because the
+    /// baseline never cycles the pack while the policy consumes it. This is
+    /// the offset the paper flags against the Figure 4 savings; it can be
+    /// negative when wear costs more than time-shifting saves.
+    #[must_use]
+    pub fn net_savings_percent(&self) -> f64 {
+        let baseline = self.total_baseline_carbon().grams();
+        if baseline <= 0.0 {
+            return 0.0;
+        }
+        let smart = self.total_smart_carbon() + self.amortized_replacement_carbon;
+        (1.0 - smart.grams() / baseline) * 100.0
+    }
+
+    /// Daily savings percentages over the non-warm-up days (warm-up days
+    /// have no previous-day threshold and start with an artificially full
+    /// pack, so they are explicitly flagged and excluded — see
+    /// [`DayOutcome::is_warmup`]).
     #[must_use]
     pub fn savings_percentages(&self) -> Vec<f64> {
         self.days
             .iter()
-            .skip(1)
+            .filter(|d| !d.is_warmup())
             .map(DayOutcome::savings_percent)
             .collect()
     }
@@ -268,7 +437,7 @@ impl SmartChargingOutcome {
     #[must_use]
     pub fn representative_day(&self) -> Option<&DayOutcome> {
         let median = self.median_savings_percent();
-        self.days.iter().skip(1).min_by(|a, b| {
+        self.days.iter().filter(|d| !d.is_warmup()).min_by(|a, b| {
             (a.savings_percent() - median)
                 .abs()
                 .partial_cmp(&(b.savings_percent() - median).abs())
@@ -434,6 +603,97 @@ mod tests {
         assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
         assert_eq!(std_dev(&[5.0]), 0.0);
         assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replacement_wear_reduces_net_savings() {
+        let outcome = pixel_config().run(&month_trace());
+        // The policy cycles the pack every day, so the month accrues wear
+        // and its amortised replacement carbon is strictly positive.
+        assert!(outcome.amortized_replacement_carbon().grams() > 0.0);
+        assert!(
+            outcome.net_savings_percent() < outcome.gross_savings_percent(),
+            "net {} must trail gross {}",
+            outcome.net_savings_percent(),
+            outcome.gross_savings_percent()
+        );
+        // A free pack (zero embodied) leaves the two figures identical.
+        let free_pack = BatterySpec::new(
+            3.0,
+            junkyard_devices::battery::NOMINAL_CELL_VOLTAGE,
+            Watts::new(18.0),
+            junkyard_carbon::units::GramsCo2e::ZERO,
+            junkyard_devices::battery::DEFAULT_CYCLE_LIFE,
+        );
+        let free =
+            SmartChargingConfig::new("free", Watts::new(1.54), free_pack).run(&month_trace());
+        assert!((free.net_savings_percent() - free.gross_savings_percent()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn day_zero_is_flagged_warmup_and_excluded_from_statistics() {
+        let outcome = pixel_config().run(&month_trace());
+        assert!(outcome.days()[0].is_warmup());
+        assert!(outcome.days().iter().skip(1).all(|d| !d.is_warmup()));
+        assert_eq!(
+            outcome.savings_percentages().len(),
+            outcome.days().len() - 1
+        );
+    }
+
+    #[test]
+    fn day_zero_decisions_never_read_future_samples() {
+        // Two day-0 traces identical up to sample k, arbitrary afterwards:
+        // a causal policy must make identical decisions up to k. The old
+        // code thresholded on day 0's *full-day* percentile, which this
+        // test rejects (a future dip would change early decisions).
+        let step = TimeSpan::from_minutes(5.0);
+        let prefix: Vec<f64> = (0..288).map(|i| 250.0 + f64::from(i % 7) * 13.0).collect();
+        let make = |tail: f64| {
+            let values = prefix
+                .iter()
+                .enumerate()
+                .map(|(i, v)| CarbonIntensity::from_grams_per_kwh(if i < 200 { *v } else { tail }))
+                .collect();
+            IntensityTrace::new(step, values)
+        };
+        // Drain the pack quickly so green-charging decisions actually occur
+        // during day 0 (a full pack never green-charges).
+        let config = SmartChargingConfig::new(
+            "probe",
+            Watts::new(30.0),
+            BatterySpec::thinkpad_x1_carbon_g3(),
+        );
+        let deep_dip = config.run(&make(20.0));
+        let high_tail = config.run(&make(900.0));
+        let a = &deep_dip.days()[0].charging_flags()[..200];
+        let b = &high_tail.days()[0].charging_flags()[..200];
+        assert_eq!(a, b, "decisions before the divergence point must match");
+    }
+
+    #[test]
+    fn lossy_charging_raises_wall_side_emissions() {
+        let trace = month_trace();
+        let lossless = pixel_config().run(&trace);
+        let lossy = SmartChargingConfig::new(
+            "Pixel 3A (90% charger)",
+            Watts::new(1.54),
+            BatterySpec::pixel_3a().with_charge_efficiency(0.9),
+        )
+        .run(&trace);
+        // The baseline never touches the charger, so it is unchanged; the
+        // smart side pays for conversion losses at the wall.
+        assert!(
+            (lossy.total_baseline_carbon().grams() - lossless.total_baseline_carbon().grams())
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            lossy.total_smart_carbon().grams() > lossless.total_smart_carbon().grams(),
+            "lossy {} vs lossless {}",
+            lossy.total_smart_carbon().grams(),
+            lossless.total_smart_carbon().grams()
+        );
     }
 
     #[test]

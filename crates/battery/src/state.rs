@@ -17,6 +17,7 @@ pub struct BatteryState {
     spec: BatterySpec,
     charge: Joules,
     equivalent_cycles: f64,
+    lifetime_cycles: f64,
     replacements: u32,
 }
 
@@ -28,6 +29,7 @@ impl BatteryState {
             spec,
             charge: spec.energy(),
             equivalent_cycles: 0.0,
+            lifetime_cycles: 0.0,
             replacements: 0,
         }
     }
@@ -47,6 +49,7 @@ impl BatteryState {
             spec,
             charge: spec.energy() * fraction,
             equivalent_cycles: 0.0,
+            lifetime_cycles: 0.0,
             replacements: 0,
         }
     }
@@ -75,6 +78,14 @@ impl BatteryState {
         self.equivalent_cycles
     }
 
+    /// Cumulative equivalent full cycles across *every* pack this device
+    /// has worn, including replaced ones (never reset by
+    /// [`BatteryState::replace`]).
+    #[must_use]
+    pub fn lifetime_equivalent_cycles(&self) -> f64 {
+        self.lifetime_cycles
+    }
+
     /// Number of replacement packs fitted so far.
     #[must_use]
     pub fn replacements(&self) -> u32 {
@@ -86,6 +97,19 @@ impl BatteryState {
     #[must_use]
     pub fn replacement_carbon(&self) -> GramsCo2e {
         self.spec.embodied() * f64::from(self.replacements)
+    }
+
+    /// Replacement embodied carbon amortised over the wear actually
+    /// accrued: every equivalent cycle consumed brings the next (paid)
+    /// replacement pack `1 / cycle_life` closer, so the steady-state
+    /// replacement rate prices wear at `embodied / cycle_life` per cycle
+    /// whatever the current pack's remaining headroom. Unlike
+    /// [`BatteryState::replacement_carbon`] this is continuous in time —
+    /// short simulations are charged their fair share of a pack instead of
+    /// rounding to whole replacements.
+    #[must_use]
+    pub fn amortized_replacement_carbon(&self) -> GramsCo2e {
+        self.spec.embodied() * (self.lifetime_cycles / f64::from(self.spec.cycle_life()))
     }
 
     /// `true` when the current pack has exceeded its cycle life and should
@@ -111,20 +135,26 @@ impl BatteryState {
         let wanted = power * dt;
         let supplied = wanted.min(self.charge);
         self.charge = (self.charge - supplied).max(Joules::ZERO);
-        self.equivalent_cycles += supplied.value() / self.spec.energy().value();
+        let cycles = supplied.value() / self.spec.energy().value();
+        self.equivalent_cycles += cycles;
+        self.lifetime_cycles += cycles;
         wanted - supplied
     }
 
     /// Charges the battery from the wall for `dt` at up to the pack's
-    /// maximum charging power. Returns the energy actually drawn from the
-    /// wall for charging (zero once full).
+    /// maximum charging power (a wall-side rating). Returns the energy
+    /// actually drawn from the wall for charging (zero once full); with a
+    /// charge efficiency below 1.0 the wall draw exceeds the energy
+    /// stored, so emissions accounted on the returned energy are charged
+    /// on the wall side where they physically occur.
     #[must_use]
     pub fn charge_from_wall(&mut self, dt: TimeSpan) -> Joules {
+        let efficiency = self.spec.charge_efficiency();
         let headroom = self.spec.energy() - self.charge;
-        let offered = self.spec.max_charge_power() * dt;
-        let accepted = offered.min(headroom).max(Joules::ZERO);
-        self.charge += accepted;
-        accepted
+        let offered = self.spec.max_charge_power() * dt * efficiency;
+        let stored = offered.min(headroom).max(Joules::ZERO);
+        self.charge += stored;
+        stored / efficiency
     }
 }
 
@@ -202,6 +232,48 @@ mod tests {
         assert!(!b.is_worn_out());
         assert_eq!(b.replacements(), 1);
         assert!((b.replacement_carbon().kilograms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossy_charging_draws_more_from_the_wall_than_it_stores() {
+        let spec = BatterySpec::pixel_3a().with_charge_efficiency(0.9);
+        let mut lossy = BatteryState::new_at(spec, 0.0);
+        let mut lossless = BatteryState::new_at(BatterySpec::pixel_3a(), 0.0);
+        let dt = TimeSpan::from_minutes(10.0);
+        let lossy_draw = lossy.charge_from_wall(dt);
+        let lossless_draw = lossless.charge_from_wall(dt);
+        // Same wall draw while charging flat out (the charger's rating is a
+        // wall-side figure), but the lossy pack stores only 90% of it.
+        assert!((lossy_draw.value() - lossless_draw.value()).abs() < 1e-9);
+        assert!((lossy.charge().value() - 0.9 * lossy_draw.value()).abs() < 1e-6);
+        assert!((lossless.charge().value() - lossless_draw.value()).abs() < 1e-6);
+        // Filling the remaining headroom still bills the wall for the loss.
+        let mut nearly_full = BatteryState::new_at(spec, 0.99);
+        let headroom = spec.energy().value() * 0.01;
+        let draw = nearly_full.charge_from_wall(TimeSpan::from_hours(2.0));
+        assert!((draw.value() - headroom / 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lifetime_cycles_survive_replacement_and_price_wear() {
+        let mut b = pixel();
+        let full = b.spec().energy().value();
+        for _ in 0..2_500 {
+            let _ = b.discharge(Watts::new(full), TimeSpan::from_secs(1.0));
+            let _ = b.charge_from_wall(TimeSpan::from_hours(1.0));
+        }
+        assert!(b.is_worn_out());
+        b.replace();
+        assert!((b.equivalent_cycles() - 0.0).abs() < 1e-9);
+        assert!((b.lifetime_equivalent_cycles() - 2_500.0).abs() < 1e-6);
+        // A whole cycle life of wear prices exactly one pack.
+        assert!((b.amortized_replacement_carbon().kilograms() - 2.0).abs() < 1e-6);
+        // Half a cycle life more wear adds half a pack's embodied carbon.
+        for _ in 0..1_250 {
+            let _ = b.discharge(Watts::new(full), TimeSpan::from_secs(1.0));
+            let _ = b.charge_from_wall(TimeSpan::from_hours(1.0));
+        }
+        assert!((b.amortized_replacement_carbon().kilograms() - 3.0).abs() < 1e-3);
     }
 
     #[test]

@@ -50,14 +50,7 @@ impl DayStats {
     #[must_use]
     pub fn percentile(&self, p: f64) -> CarbonIntensity {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        let n = self.sorted_grams_per_kwh.len();
-        let rank = p / 100.0 * (n - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
-        CarbonIntensity::from_grams_per_kwh(
-            self.sorted_grams_per_kwh[lo] * (1.0 - frac) + self.sorted_grams_per_kwh[hi] * frac,
-        )
+        sorted_percentile(&self.sorted_grams_per_kwh, p)
     }
 
     /// Mean intensity of the day.
@@ -66,6 +59,23 @@ impl DayStats {
         let sum: f64 = self.sorted_grams_per_kwh.iter().sum();
         CarbonIntensity::from_grams_per_kwh(sum / self.sorted_grams_per_kwh.len() as f64)
     }
+}
+
+/// The `p`-th percentile (0–100) of an ascending gCO2e/kWh slice by linear
+/// interpolation between order statistics — the one percentile definition
+/// shared by [`DayStats::percentile`] and the warm-up prefix threshold in
+/// the smart-charging simulation. Zero when the slice is empty (the
+/// warm-up prior before any observation).
+#[must_use]
+pub fn sorted_percentile(sorted: &[f64], p: f64) -> CarbonIntensity {
+    if sorted.is_empty() {
+        return CarbonIntensity::ZERO;
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    CarbonIntensity::from_grams_per_kwh(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
 #[cfg(test)]

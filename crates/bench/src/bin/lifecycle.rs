@@ -1,0 +1,89 @@
+//! Lifecycle study: the Fig. 7-style multi-year amortised gCO2e/request
+//! trajectory for two junk-phone cloudlets versus a rented c5.9xlarge,
+//! with battery wear, device failures and junkyard replacements simulated
+//! day by day.
+//!
+//! Runs a reduced five-year study by default; set `JUNKYARD_FULL=1` for
+//! the ten-year, 24-window full-scale horizon (slower). Writes the
+//! trajectory and totals to `LIFECYCLE_study.json` (or the path given as
+//! the first argument) so CI can archive them with the perf report.
+use std::fmt::Write as _;
+
+use junkyard_bench::{emit_chart, emit_table, full_scale};
+use junkyard_core::lifecycle_study::LifecycleStudy;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LIFECYCLE_study.json".to_owned());
+    let study = if full_scale() {
+        LifecycleStudy::paper_scale()
+    } else {
+        LifecycleStudy::quick()
+    };
+    let result = study.run().expect("the lifecycle study builds and runs");
+    emit_chart(&result.trajectory_chart());
+    emit_table(&result.summary_table());
+
+    let crossover = result.crossover_day();
+    match crossover {
+        Some(day) => println!(
+            "cloudlet lifetime CCI crosses below the datacenter's on day {day} \
+             ({:.1} months in)",
+            day as f64 / 30.4
+        ),
+        None => println!("cloudlet lifetime CCI never crosses below the datacenter's"),
+    }
+    println!(
+        "after {} years: cloudlets {:.4} vs datacenter {:.4} mgCO2e/request ({:.1}x advantage)",
+        result.cloudlet().years(),
+        result.cloudlet().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        result.datacenter().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        result.lifetime_advantage(),
+    );
+    println!(
+        "cloudlet fleet events: {} battery packs, {} device failures, {} junkyard refills",
+        result.cloudlet().total_battery_replacements(),
+        result.cloudlet().total_device_failures(),
+        result.cloudlet().total_devices_replaced(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"study\": \"lifecycle\",\n");
+    let _ = writeln!(
+        json,
+        "  \"years\": {},\n  \"crossover_day\": {},",
+        result.cloudlet().years(),
+        crossover.map_or("null".to_owned(), |d| d.to_string()),
+    );
+    for (key, lifecycle) in [
+        ("cloudlet", result.cloudlet()),
+        ("datacenter", result.datacenter()),
+    ] {
+        let trajectory: Vec<String> = lifecycle
+            .yearly_trajectory()
+            .iter()
+            .map(|(year, grams)| format!("[{year}, {grams:.9}]"))
+            .collect();
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"requests\": {:.0}, \"operational_kg\": {:.3}, \
+             \"embodied_kg\": {:.3}, \"battery_replacements\": {}, \"device_failures\": {}, \
+             \"grams_per_request\": {:.9}, \"trajectory\": [{}]}},",
+            lifecycle.total_requests(),
+            lifecycle.total_operational().kilograms(),
+            lifecycle.total_embodied().kilograms(),
+            lifecycle.total_battery_replacements(),
+            lifecycle.total_device_failures(),
+            lifecycle.grams_per_request().unwrap_or(0.0),
+            trajectory.join(", "),
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"lifetime_advantage\": {:.4}\n}}",
+        result.lifetime_advantage()
+    );
+    std::fs::write(&output, &json).expect("report file is writable");
+    println!("wrote {output}");
+}

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use junkyard_core::fleet_study::FleetStudy;
+use junkyard_core::lifecycle_study::LifecycleStudy;
 
 use junkyard_microsim::app::{hotel_reservation, social_network, SN_COMPOSE_POST};
 use junkyard_microsim::compiled::CompiledSim;
@@ -124,6 +125,17 @@ fn main() {
     let fleet_wall_ms = fleet_start.elapsed().as_secs_f64() * 1_000.0;
     let fleet_cells = fleet.baseline().cells().len() + fleet.carbon_aware().cells().len();
 
+    // The multi-year lifecycle path: a reduced two-year run of both
+    // deployments (cloudlet cohorts with battery wear and failures, plus
+    // the leased datacenter), timed end to end.
+    let lifecycle_start = Instant::now();
+    let lifecycle = LifecycleStudy::quick()
+        .years(2)
+        .run()
+        .expect("the lifecycle study runs");
+    let lifecycle_wall_ms = lifecycle_start.elapsed().as_secs_f64() * 1_000.0;
+    let lifecycle_cells = lifecycle.cloudlet().cells().len() + lifecycle.datacenter().cells().len();
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"microsim_engine\",\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
@@ -156,16 +168,30 @@ fn main() {
         sweep_serial_ms,
         sweep_threaded_ms,
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  \"fleet\": {{\"windows\": {}, \"sites\": {}, \"cells\": {}, \"wall_ms\": {:.3}, \
-         \"static_mg_per_request\": {:.6}, \"carbon_aware_mg_per_request\": {:.6}}}\n}}\n",
+         \"static_mg_per_request\": {:.6}, \"carbon_aware_mg_per_request\": {:.6}}},",
         fleet.baseline().windows(),
         fleet.baseline().site_names().len(),
         fleet_cells,
         fleet_wall_ms,
         fleet.baseline().grams_per_request().unwrap_or(0.0) * 1_000.0,
         fleet.carbon_aware().grams_per_request().unwrap_or(0.0) * 1_000.0,
+    );
+    let _ = write!(
+        json,
+        "  \"lifecycle\": {{\"years\": {}, \"cells\": {}, \"wall_ms\": {:.3}, \
+         \"cloudlet_mg_per_request\": {:.6}, \"datacenter_mg_per_request\": {:.6}, \
+         \"crossover_day\": {}}}\n}}\n",
+        lifecycle.cloudlet().years(),
+        lifecycle_cells,
+        lifecycle_wall_ms,
+        lifecycle.cloudlet().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        lifecycle.datacenter().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        lifecycle
+            .crossover_day()
+            .map_or("null".to_owned(), |d| d.to_string()),
     );
 
     std::fs::write(&output, &json).expect("report file is writable");
@@ -200,5 +226,13 @@ fn main() {
         fleet_wall_ms,
         fleet.baseline().grams_per_request().unwrap_or(0.0) * 1_000.0,
         fleet.carbon_aware().grams_per_request().unwrap_or(0.0) * 1_000.0,
+    );
+    println!(
+        "  lifecycle study ({} year-site cells, both deployments): {:.1} ms, \
+         cloudlets {:.4} vs datacenter {:.4} mgCO2e/request",
+        lifecycle_cells,
+        lifecycle_wall_ms,
+        lifecycle.cloudlet().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        lifecycle.datacenter().grams_per_request().unwrap_or(0.0) * 1_000.0,
     );
 }

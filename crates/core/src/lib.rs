@@ -15,6 +15,7 @@
 //! | [`datacenter_study`] | Table 4 and the PUE comparison |
 //! | [`deployments`], [`cloudlet_study`] | Figures 7, 8 and 9 |
 //! | [`fleet_study`] | the coupled carbon-aware fleet extension of Figs. 7–9 |
+//! | [`lifecycle_study`] | the multi-year Fig. 7-style amortised CCI trajectory |
 //! | [`cost_study`] | the Section 6.2 cost comparison |
 //!
 //! Results are returned as [`report::Table`] and [`report::Chart`] values
@@ -43,6 +44,7 @@ pub mod datacenter_study;
 pub mod deployments;
 pub mod energy_mix;
 pub mod fleet_study;
+pub mod lifecycle_study;
 pub mod report;
 pub mod single_device;
 pub mod tables;
@@ -54,6 +56,7 @@ pub use cluster_cci::ClusterCciStudy;
 pub use datacenter_study::DatacenterStudy;
 pub use deployments::{build_deployment, DeploymentKind};
 pub use fleet_study::{FleetStudy, FleetStudyResult};
+pub use lifecycle_study::{LifecycleStudy, LifecycleStudyResult};
 pub use report::{Chart, SeriesLine, Table};
 pub use single_device::SingleDeviceStudy;
 pub use thermal_study::{run_thermal_study, ThermalStudyResult};

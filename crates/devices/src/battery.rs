@@ -28,10 +28,12 @@ pub struct BatterySpec {
     max_charge_power: Watts,
     embodied: GramsCo2e,
     cycle_life: u32,
+    charge_efficiency: f64,
 }
 
 impl BatterySpec {
-    /// Creates a battery specification.
+    /// Creates a battery specification with lossless (efficiency 1.0)
+    /// charging; override with [`BatterySpec::with_charge_efficiency`].
     ///
     /// # Panics
     ///
@@ -56,7 +58,29 @@ impl BatterySpec {
             max_charge_power,
             embodied,
             cycle_life,
+            charge_efficiency: 1.0,
         }
+    }
+
+    /// Overrides the wall-to-pack charging efficiency in `(0, 1]`.
+    ///
+    /// Lithium-ion charging is not lossless: conversion and cell losses
+    /// mean the wall supplies more energy than the pack stores (a
+    /// realistic round figure is ~0.9). The default of 1.0 preserves the
+    /// historical lossless accounting bit for bit; studies that care about
+    /// wall-side emissions should set a realistic value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_charge_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "charge efficiency must be in (0, 1]"
+        );
+        self.charge_efficiency = efficiency;
+        self
     }
 
     /// The Pixel 3A pack: 3 Ah, 18 W charging, 2.00 kgCO2e embodied.
@@ -124,6 +148,12 @@ impl BatterySpec {
     #[must_use]
     pub fn cycle_life(self) -> u32 {
         self.cycle_life
+    }
+
+    /// Wall-to-pack charging efficiency in `(0, 1]` (1.0 = lossless).
+    #[must_use]
+    pub fn charge_efficiency(self) -> f64 {
+        self.charge_efficiency
     }
 
     /// Usable energy of a full charge.
@@ -261,6 +291,20 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = BatterySpec::new(0.0, 3.85, Watts::new(18.0), GramsCo2e::ZERO, 2_500);
+    }
+
+    #[test]
+    fn charge_efficiency_defaults_to_lossless_and_can_be_overridden() {
+        let spec = BatterySpec::pixel_3a();
+        assert_eq!(spec.charge_efficiency(), 1.0);
+        let lossy = spec.with_charge_efficiency(0.9);
+        assert!((lossy.charge_efficiency() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "charge efficiency")]
+    fn out_of_range_efficiency_panics() {
+        let _ = BatterySpec::pixel_3a().with_charge_efficiency(1.2);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   carbon per window, and reports fleet-wide gCO2e per request. Cells
 //!   fan out across scoped threads with pre-assigned output slots, so
 //!   results are identical serial or threaded.
+//! * [`lifecycle`] — [`LifecycleSim`](lifecycle::LifecycleSim): the
+//!   multi-year coupling of all of the above. Device cohorts wear their
+//!   batteries day by day under the simulated smart-charging schedule,
+//!   fail stochastically and are refilled from junkyard stock; routing
+//!   re-plans every window as capacity shrinks and recovers; (year, site)
+//!   cells fan out with the same deterministic slot pattern.
 //!
 //! # Example
 //!
@@ -65,12 +71,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lifecycle;
 pub mod routing;
 pub mod schedule;
 pub mod sim;
 pub mod site;
 
-pub use routing::{RoutingPolicy, WindowAssignment};
+pub use lifecycle::{
+    CohortDevice, LifecycleCell, LifecycleConfig, LifecycleResult, LifecycleSim, LifecycleSite,
+};
+pub use routing::{RoutingPolicy, SiteWindowInput, WindowAssignment};
 pub use schedule::{DiurnalSchedule, LoadWindow};
 pub use sim::{FleetCell, FleetConfig, FleetResult, FleetSim};
 pub use site::{second_life_embodied, smart_charging_scale, FleetSite, GridRegion};

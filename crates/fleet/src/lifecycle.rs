@@ -1,0 +1,1602 @@
+//! Multi-year, day-stepped fleet lifecycle simulation.
+//!
+//! The paper's headline claim rests on *amortisation over time*: a
+//! junk-phone cloudlet only beats a cloud instance on lifetime carbon if
+//! the phones survive years of service, absorbing battery replacements
+//! and device churn along the way (Sections 5–6). The other layers of
+//! this crate each model one slice of that story — a day of smart
+//! charging, one routing window of serving — and this module couples
+//! them over a deployment lifetime:
+//!
+//! * every cohort site carries per-device [`BatteryState`]s whose wear is
+//!   integrated day by day from the *simulated* smart-charging/discharge
+//!   schedule (not a static replacement constant); worn packs are
+//!   replaced and charged their embodied carbon on the day it happens;
+//! * devices fail stochastically (seeded through [`decorrelate_seed`],
+//!   so runs are deterministic at any worker count) and are replaced from
+//!   junkyard stock after a configurable lag, each replacement charging
+//!   its Reuse-Factor embodied share;
+//! * grid traces extend periodically over the horizon
+//!   ([`IntensityTrace::day_periodic`] tiling), and routing is re-planned
+//!   every window from the cohort capacity actually alive that day;
+//! * accounting cells are one *(year, site)* pair, fanned across scoped
+//!   worker threads with the same order-preserving slot pattern as the
+//!   sweep and fleet layers, so results are bit-identical serial or
+//!   threaded.
+//!
+//! The serving measurements reuse the compiled microsim: within a cell,
+//! identical `(start, end)` load windows share one measured slice (the
+//! schedule repeats daily and capacities are piecewise-constant between
+//! failure events, so the memo keeps multi-year horizons tractable).
+//! While part of a cohort is down the full-strength compiled topology
+//! still serves the slice and the measured utilisation is scaled by the
+//! inverse alive fraction — latency during outages is therefore slightly
+//! optimistic, which is acceptable for carbon accounting.
+
+use std::collections::HashMap;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use junkyard_battery::charging::SmartChargePolicy;
+use junkyard_battery::sim::simulate_day;
+use junkyard_battery::state::BatteryState;
+use junkyard_battery::trace_ext::DayStats;
+use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, TimeSpan, Watts};
+use junkyard_devices::battery::BatterySpec;
+use junkyard_grid::trace::IntensityTrace;
+use junkyard_microsim::compiled::CompiledSim;
+use junkyard_microsim::sim::{Phase, SimError, Simulation, Workload};
+use junkyard_microsim::sweep::decorrelate_seed;
+
+use crate::routing::{plan_window_inputs, RoutingPolicy, SiteWindowInput, WindowAssignment};
+use crate::schedule::{DiurnalSchedule, LoadWindow};
+use crate::site::GridRegion;
+
+/// Days per simulated year (the lifecycle steps whole days; leap days are
+/// ignored like the paper's month-granular accounting).
+pub const DAYS_PER_YEAR: usize = 365;
+
+/// One device slot of a cohort site: the phone model occupying it, its
+/// battery, what a junkyard replacement costs in embodied carbon and what
+/// the slot contributes to serving capacity and power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortDevice {
+    model: String,
+    serving_power: Watts,
+    battery: BatterySpec,
+    replacement_embodied: GramsCo2e,
+    capacity_qps: f64,
+    idle_power: Watts,
+    dynamic_power: Watts,
+}
+
+impl CohortDevice {
+    /// Creates a device slot. `serving_power` is the average draw the
+    /// smart-charging schedule plans against; `replacement_embodied` is
+    /// the second-life (Reuse-Factor) share charged each time this slot is
+    /// refilled from junkyard stock; `capacity_qps` is the slot's share of
+    /// the site's serving capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serving_power` or `capacity_qps` is not strictly
+    /// positive.
+    #[must_use]
+    pub fn new(
+        model: impl Into<String>,
+        serving_power: Watts,
+        battery: BatterySpec,
+        replacement_embodied: GramsCo2e,
+        capacity_qps: f64,
+    ) -> Self {
+        assert!(
+            serving_power.value() > 0.0,
+            "serving power must be positive"
+        );
+        assert!(capacity_qps > 0.0, "device capacity must be positive");
+        Self {
+            model: model.into(),
+            serving_power,
+            battery,
+            replacement_embodied,
+            capacity_qps,
+            idle_power: Watts::ZERO,
+            dynamic_power: Watts::ZERO,
+        }
+    }
+
+    /// Sets the slot's electrical power model: `idle` always drawn while
+    /// the device is alive, `dynamic` added at 100 % utilisation.
+    #[must_use]
+    pub fn power(mut self, idle: Watts, dynamic: Watts) -> Self {
+        self.idle_power = idle;
+        self.dynamic_power = dynamic;
+        self
+    }
+
+    /// The phone model occupying the slot.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The slot's battery pack specification.
+    #[must_use]
+    pub fn battery(&self) -> BatterySpec {
+        self.battery
+    }
+
+    /// The slot's share of the site's serving capacity, requests/second.
+    #[must_use]
+    pub fn capacity_qps(&self) -> f64 {
+        self.capacity_qps
+    }
+
+    /// Embodied carbon charged when the slot is refilled from stock.
+    #[must_use]
+    pub fn replacement_embodied(&self) -> GramsCo2e {
+        self.replacement_embodied
+    }
+}
+
+/// How one lifecycle site is provisioned.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// A cohort of repurposed phones: per-device batteries, wear,
+    /// failures and junkyard replacements.
+    Cohort {
+        devices: Vec<CohortDevice>,
+        install_embodied: GramsCo2e,
+        overhead_power: Watts,
+        policy: SmartChargePolicy,
+        mean_days_between_failures: f64,
+        replacement_lag_days: usize,
+    },
+    /// Rented capacity (the cloud backend): fixed capacity, a fixed power
+    /// model and embodied carbon amortised linearly over a lease lifetime.
+    Leased {
+        capacity_qps: f64,
+        idle_power: Watts,
+        dynamic_power: Watts,
+        embodied: GramsCo2e,
+        amortization: TimeSpan,
+    },
+}
+
+/// One site of a lifecycle fleet: a compiled serving simulation, a grid
+/// region (extended periodically over the horizon) and either a device
+/// cohort or leased capacity.
+#[derive(Debug, Clone)]
+pub struct LifecycleSite {
+    name: String,
+    sim: CompiledSim,
+    request_type: Option<String>,
+    region: GridRegion,
+    backend: Backend,
+}
+
+impl LifecycleSite {
+    /// Creates a cohort site: `devices` drawn from the junkyard catalog
+    /// serve `sim`'s traffic from `region`'s grid. `install_embodied` is
+    /// charged on day 0 (the Reuse-Factor share of the initial cohort plus
+    /// any new peripherals); batteries wear under the default
+    /// smart-charging policy and failures are disabled until
+    /// [`LifecycleSite::failures`] turns them on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cohort is empty or the region's trace does not cover
+    /// a whole number of days (at least one): periodic day tiling and the
+    /// sample-level wrap-around of window means must agree over a
+    /// multi-year horizon.
+    #[must_use]
+    pub fn cohort(
+        name: impl Into<String>,
+        sim: &Simulation,
+        region: GridRegion,
+        devices: Vec<CohortDevice>,
+        install_embodied: GramsCo2e,
+    ) -> Self {
+        assert!(!devices.is_empty(), "a cohort needs at least one device");
+        Self::assert_whole_days(&region);
+        Self {
+            name: name.into(),
+            sim: sim.compile(),
+            request_type: None,
+            region,
+            backend: Backend::Cohort {
+                devices,
+                install_embodied,
+                overhead_power: Watts::ZERO,
+                policy: SmartChargePolicy::paper_default(),
+                mean_days_between_failures: 0.0,
+                replacement_lag_days: 0,
+            },
+        }
+    }
+
+    /// Creates a leased site (the datacenter backend): fixed
+    /// `capacity_qps`, no power draw and no embodied carbon until the
+    /// builders set them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive or the region's
+    /// trace does not cover a whole number of days.
+    #[must_use]
+    pub fn leased(
+        name: impl Into<String>,
+        sim: &Simulation,
+        region: GridRegion,
+        capacity_qps: f64,
+    ) -> Self {
+        assert!(capacity_qps > 0.0, "site capacity must be positive");
+        Self::assert_whole_days(&region);
+        Self {
+            name: name.into(),
+            sim: sim.compile(),
+            request_type: None,
+            region,
+            backend: Backend::Leased {
+                capacity_qps,
+                idle_power: Watts::ZERO,
+                dynamic_power: Watts::ZERO,
+                embodied: GramsCo2e::ZERO,
+                amortization: TimeSpan::from_years(3.0),
+            },
+        }
+    }
+
+    fn assert_whole_days(region: &GridRegion) {
+        let days = region.trace().duration().seconds() / TimeSpan::from_days(1.0).seconds();
+        assert!(
+            days >= 1.0 - 1e-9 && (days - days.round()).abs() < 1e-9,
+            "a lifecycle region trace must cover a whole number of days, got {days}"
+        );
+    }
+
+    /// Restricts the site's workload to a single request type.
+    #[must_use]
+    pub fn request_type(mut self, name: impl Into<String>) -> Self {
+        self.request_type = Some(name.into());
+        self
+    }
+
+    /// Sets a cohort site's always-on overhead draw (server fan, switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leased site.
+    #[must_use]
+    pub fn overhead_power(mut self, power: Watts) -> Self {
+        match &mut self.backend {
+            Backend::Cohort { overhead_power, .. } => *overhead_power = power,
+            Backend::Leased { .. } => panic!("overhead power applies to cohort sites"),
+        }
+        self
+    }
+
+    /// Overrides a cohort site's smart-charging policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leased site.
+    #[must_use]
+    pub fn charge_policy(mut self, new_policy: SmartChargePolicy) -> Self {
+        match &mut self.backend {
+            Backend::Cohort { policy, .. } => *policy = new_policy,
+            Backend::Leased { .. } => panic!("charging policy applies to cohort sites"),
+        }
+        self
+    }
+
+    /// Enables stochastic device failures on a cohort site: each alive
+    /// device fails with daily hazard `1 - exp(-1 / mean_days)` and its
+    /// slot stays empty for `lag_days` whole days before a junkyard
+    /// replacement (fresh pack included free with the donor) takes over,
+    /// charging the slot's Reuse-Factor embodied share.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leased site or if `mean_days` is not strictly positive.
+    #[must_use]
+    pub fn failures(mut self, mean_days: f64, lag_days: usize) -> Self {
+        assert!(
+            mean_days > 0.0,
+            "mean days between failures must be positive"
+        );
+        match &mut self.backend {
+            Backend::Cohort {
+                mean_days_between_failures,
+                replacement_lag_days,
+                ..
+            } => {
+                *mean_days_between_failures = mean_days;
+                *replacement_lag_days = lag_days;
+            }
+            Backend::Leased { .. } => panic!("failures apply to cohort sites"),
+        }
+        self
+    }
+
+    /// Sets a leased site's power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cohort site (cohort power comes from its devices).
+    #[must_use]
+    pub fn power(mut self, idle: Watts, dynamic: Watts) -> Self {
+        match &mut self.backend {
+            Backend::Leased {
+                idle_power,
+                dynamic_power,
+                ..
+            } => {
+                *idle_power = idle;
+                *dynamic_power = dynamic;
+            }
+            Backend::Cohort { .. } => panic!("cohort power comes from its devices"),
+        }
+        self
+    }
+
+    /// Sets a leased site's embodied carbon and its amortisation lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cohort site or if the lifetime is not strictly
+    /// positive.
+    #[must_use]
+    pub fn embodied(mut self, total: GramsCo2e, lifetime: TimeSpan) -> Self {
+        assert!(
+            lifetime.seconds() > 0.0,
+            "amortisation lifetime must be positive"
+        );
+        match &mut self.backend {
+            Backend::Leased {
+                embodied,
+                amortization,
+                ..
+            } => {
+                *embodied = total;
+                *amortization = lifetime;
+            }
+            Backend::Cohort { .. } => panic!("cohort embodied carbon accrues from events"),
+        }
+        self
+    }
+
+    /// Site name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid region powering the site.
+    #[must_use]
+    pub fn region(&self) -> &GridRegion {
+        &self.region
+    }
+
+    /// Serving capacity with every device alive, requests/second.
+    #[must_use]
+    pub fn full_capacity_qps(&self) -> f64 {
+        match &self.backend {
+            Backend::Cohort { devices, .. } => devices.iter().map(CohortDevice::capacity_qps).sum(),
+            Backend::Leased { capacity_qps, .. } => *capacity_qps,
+        }
+    }
+
+    /// Number of device slots (zero for leased sites).
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        match &self.backend {
+            Backend::Cohort { devices, .. } => devices.len(),
+            Backend::Leased { .. } => 0,
+        }
+    }
+}
+
+/// Tunables of a lifecycle run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    years: usize,
+    windows_per_day: usize,
+    sim_slice_s: f64,
+    warmup_s: f64,
+    seed: u64,
+    parallelism: Option<usize>,
+}
+
+impl LifecycleConfig {
+    /// Defaults for `years` simulated years: six 4-hour routing windows
+    /// per day, a 1-second measured slice after a 1-second warm-up, seed
+    /// 42, machine parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `years` is zero.
+    #[must_use]
+    pub fn new(years: usize) -> Self {
+        assert!(years > 0, "the lifecycle needs at least one year");
+        Self {
+            years,
+            windows_per_day: 6,
+            sim_slice_s: 1.0,
+            warmup_s: 1.0,
+            seed: 42,
+            parallelism: None,
+        }
+    }
+
+    /// Sets the number of routing/accounting windows per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn windows_per_day(mut self, windows: usize) -> Self {
+        assert!(windows > 0, "need at least one window per day");
+        self.windows_per_day = windows;
+        self
+    }
+
+    /// Sets the measured length of each microsim slice (whole seconds —
+    /// the engine buckets utilisation per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if not a strictly positive whole number of seconds.
+    #[must_use]
+    pub fn sim_slice_s(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "slice duration must be positive");
+        assert!(
+            seconds.fract() == 0.0,
+            "slice duration must be a whole number of seconds (1-second utilisation buckets)"
+        );
+        self.sim_slice_s = seconds;
+        self
+    }
+
+    /// Sets the warm-up excluded from each slice's measurements (whole
+    /// seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or not a whole number of seconds.
+    #[must_use]
+    pub fn warmup_s(mut self, seconds: f64) -> Self {
+        assert!(seconds >= 0.0, "warm-up cannot be negative");
+        assert!(
+            seconds.fract() == 0.0,
+            "warm-up must be a whole number of seconds (1-second utilisation buckets)"
+        );
+        self.warmup_s = seconds;
+        self
+    }
+
+    /// Sets the root seed; failure draws and workload seeds are mixed
+    /// from it with [`decorrelate_seed`].
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of worker threads; `1` forces a serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a lifecycle run needs at least one worker");
+        self.parallelism = Some(workers);
+        self
+    }
+
+    /// Simulated years.
+    #[must_use]
+    pub fn years(&self) -> usize {
+        self.years
+    }
+}
+
+/// The per-day state of one site, produced by the serial dynamics pass:
+/// who is alive, what the site can serve, what its power model looks like
+/// and what embodied carbon the day's events charged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayDynamics {
+    alive: usize,
+    capacity_qps: f64,
+    idle_power: Watts,
+    dynamic_power: Watts,
+    /// Always-on draw with no battery behind it (fan, switch): billed at
+    /// the grid's intensity unscaled, because smart charging cannot
+    /// time-shift it.
+    overhead_power: Watts,
+    utilization_scale: f64,
+    operational_scale: f64,
+    embodied: GramsCo2e,
+    battery_replacements: u32,
+    device_failures: u32,
+    devices_replaced: u32,
+}
+
+impl DayDynamics {
+    /// Devices alive at the start of the day (zero for leased sites).
+    #[must_use]
+    pub fn alive(&self) -> usize {
+        self.alive
+    }
+
+    /// Serving capacity available to the router that day.
+    #[must_use]
+    pub fn capacity_qps(&self) -> f64 {
+        self.capacity_qps
+    }
+
+    /// Operational-carbon scale earned by the day's simulated
+    /// smart-charging schedule (1.0 for leased sites and flat grids).
+    #[must_use]
+    pub fn operational_scale(&self) -> f64 {
+        self.operational_scale
+    }
+
+    /// Embodied carbon charged to the day (install, battery packs, device
+    /// replacements, or the leased amortisation slice).
+    #[must_use]
+    pub fn embodied(&self) -> GramsCo2e {
+        self.embodied
+    }
+
+    /// Worn-out battery packs replaced during the day.
+    #[must_use]
+    pub fn battery_replacements(&self) -> u32 {
+        self.battery_replacements
+    }
+
+    /// Devices that failed at the end of the day.
+    #[must_use]
+    pub fn device_failures(&self) -> u32 {
+        self.device_failures
+    }
+
+    /// Failed slots refilled from junkyard stock at the start of the day.
+    #[must_use]
+    pub fn devices_replaced(&self) -> u32 {
+        self.devices_replaced
+    }
+}
+
+/// The per-day ledger merged across a fleet: what the day served and
+/// emitted, for cumulative (lifetime-amortised) trajectories at day
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayLedger {
+    requests: f64,
+    operational: GramsCo2e,
+    embodied: GramsCo2e,
+}
+
+impl DayLedger {
+    /// Requests served during the day.
+    #[must_use]
+    pub fn requests(&self) -> f64 {
+        self.requests
+    }
+
+    /// Operational carbon of the day.
+    #[must_use]
+    pub fn operational(&self) -> GramsCo2e {
+        self.operational
+    }
+
+    /// Embodied carbon charged to the day.
+    #[must_use]
+    pub fn embodied(&self) -> GramsCo2e {
+        self.embodied
+    }
+
+    /// Total carbon of the day.
+    #[must_use]
+    pub fn carbon(&self) -> GramsCo2e {
+        self.operational + self.embodied
+    }
+}
+
+/// One (year, site) cell of the lifecycle accounting grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleCell {
+    year: usize,
+    site: usize,
+    requests: f64,
+    operational: GramsCo2e,
+    embodied: GramsCo2e,
+    battery_replacements: u32,
+    device_failures: u32,
+    devices_replaced: u32,
+    mean_alive: f64,
+    worst_tail_ms: f64,
+    daily: Vec<DayLedger>,
+}
+
+impl LifecycleCell {
+    /// Year index of the cell (0-based).
+    #[must_use]
+    pub fn year(&self) -> usize {
+        self.year
+    }
+
+    /// Site index of the cell.
+    #[must_use]
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// Requests the site served during the year.
+    #[must_use]
+    pub fn requests(&self) -> f64 {
+        self.requests
+    }
+
+    /// Operational carbon of the year.
+    #[must_use]
+    pub fn operational(&self) -> GramsCo2e {
+        self.operational
+    }
+
+    /// Embodied carbon charged during the year (install on day 0, battery
+    /// packs, device replacements, leased amortisation slices).
+    #[must_use]
+    pub fn embodied(&self) -> GramsCo2e {
+        self.embodied
+    }
+
+    /// Total carbon of the cell.
+    #[must_use]
+    pub fn carbon(&self) -> GramsCo2e {
+        self.operational + self.embodied
+    }
+
+    /// Battery packs replaced during the year.
+    #[must_use]
+    pub fn battery_replacements(&self) -> u32 {
+        self.battery_replacements
+    }
+
+    /// Device failures during the year.
+    #[must_use]
+    pub fn device_failures(&self) -> u32 {
+        self.device_failures
+    }
+
+    /// Failed slots refilled from junkyard stock during the year.
+    #[must_use]
+    pub fn devices_replaced(&self) -> u32 {
+        self.devices_replaced
+    }
+
+    /// Mean devices alive across the year (zero for leased sites).
+    #[must_use]
+    pub fn mean_alive(&self) -> f64 {
+        self.mean_alive
+    }
+
+    /// The worst measured tail latency of the year's slices, ms.
+    #[must_use]
+    pub fn worst_tail_ms(&self) -> f64 {
+        self.worst_tail_ms
+    }
+
+    /// The site's per-day ledger for the year.
+    #[must_use]
+    pub fn daily(&self) -> &[DayLedger] {
+        &self.daily
+    }
+}
+
+/// Result of a lifecycle run: the (year, site) accounting grid, a
+/// fleet-wide per-day ledger and lifetime totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleResult {
+    policy: RoutingPolicy,
+    site_names: Vec<String>,
+    years: usize,
+    /// Year-major: `cells[year * sites + site]`.
+    cells: Vec<LifecycleCell>,
+    day_ledger: Vec<DayLedger>,
+    shed_requests: f64,
+    total_requests: f64,
+    total_operational: GramsCo2e,
+    total_embodied: GramsCo2e,
+}
+
+impl LifecycleResult {
+    /// The routing policy the run used.
+    #[must_use]
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Site names, in cell order.
+    #[must_use]
+    pub fn site_names(&self) -> &[String] {
+        &self.site_names
+    }
+
+    /// Simulated years.
+    #[must_use]
+    pub fn years(&self) -> usize {
+        self.years
+    }
+
+    /// The full accounting grid, year-major.
+    #[must_use]
+    pub fn cells(&self) -> &[LifecycleCell] {
+        &self.cells
+    }
+
+    /// The cell of one (year, site) pair.
+    #[must_use]
+    pub fn cell(&self, year: usize, site: usize) -> &LifecycleCell {
+        &self.cells[year * self.site_names.len() + site]
+    }
+
+    /// The fleet-wide per-day ledger (length `years * 365`).
+    #[must_use]
+    pub fn day_ledger(&self) -> &[DayLedger] {
+        &self.day_ledger
+    }
+
+    /// Requests the router could not place anywhere over the horizon.
+    #[must_use]
+    pub fn shed_requests(&self) -> f64 {
+        self.shed_requests
+    }
+
+    /// Requests served across the fleet and the horizon.
+    #[must_use]
+    pub fn total_requests(&self) -> f64 {
+        self.total_requests
+    }
+
+    /// Lifetime operational carbon.
+    #[must_use]
+    pub fn total_operational(&self) -> GramsCo2e {
+        self.total_operational
+    }
+
+    /// Lifetime embodied carbon.
+    #[must_use]
+    pub fn total_embodied(&self) -> GramsCo2e {
+        self.total_embodied
+    }
+
+    /// Lifetime total carbon.
+    #[must_use]
+    pub fn total_carbon(&self) -> GramsCo2e {
+        self.total_operational + self.total_embodied
+    }
+
+    /// Lifetime-amortised grams of CO2e per served request, or `None` if
+    /// nothing was served.
+    #[must_use]
+    pub fn grams_per_request(&self) -> Option<f64> {
+        if self.total_requests > 0.0 {
+            Some(self.total_carbon().grams() / self.total_requests)
+        } else {
+            None
+        }
+    }
+
+    /// Cumulative (lifetime-amortised) grams per request through the end
+    /// of day `day` (0-based), or `None` if nothing was served yet.
+    #[must_use]
+    pub fn grams_per_request_through_day(&self, day: usize) -> Option<f64> {
+        let mut requests = 0.0;
+        let mut carbon = 0.0;
+        for ledger in &self.day_ledger[..=day.min(self.day_ledger.len() - 1)] {
+            requests += ledger.requests();
+            carbon += ledger.carbon().grams();
+        }
+        if requests > 0.0 {
+            Some(carbon / requests)
+        } else {
+            None
+        }
+    }
+
+    /// The Figure 7-style amortised trajectory: cumulative gCO2e/request
+    /// through the end of each year, as `(years_elapsed, grams)` points.
+    #[must_use]
+    pub fn yearly_trajectory(&self) -> Vec<(f64, f64)> {
+        let mut requests = 0.0;
+        let mut carbon = 0.0;
+        let mut points = Vec::with_capacity(self.years);
+        for year in 0..self.years {
+            for site in 0..self.site_names.len() {
+                let cell = self.cell(year, site);
+                requests += cell.requests();
+                carbon += cell.carbon().grams();
+            }
+            if requests > 0.0 {
+                points.push(((year + 1) as f64, carbon / requests));
+            }
+        }
+        points
+    }
+
+    /// The first day whose cumulative amortised carbon per request is
+    /// strictly below `other`'s, or `None` if it never crosses: the
+    /// crossover day of a cloudlet-versus-datacenter comparison.
+    #[must_use]
+    pub fn first_day_cheaper_than(&self, other: &LifecycleResult) -> Option<usize> {
+        let days = self.day_ledger.len().min(other.day_ledger.len());
+        let (mut req_a, mut co2_a, mut req_b, mut co2_b) = (0.0, 0.0, 0.0, 0.0);
+        for day in 0..days {
+            req_a += self.day_ledger[day].requests();
+            co2_a += self.day_ledger[day].carbon().grams();
+            req_b += other.day_ledger[day].requests();
+            co2_b += other.day_ledger[day].carbon().grams();
+            if req_a > 0.0 && req_b > 0.0 && co2_a / req_a < co2_b / req_b {
+                return Some(day);
+            }
+        }
+        None
+    }
+
+    /// Battery packs replaced across the fleet and the horizon.
+    #[must_use]
+    pub fn total_battery_replacements(&self) -> u32 {
+        self.cells
+            .iter()
+            .map(LifecycleCell::battery_replacements)
+            .sum()
+    }
+
+    /// Device failures across the fleet and the horizon.
+    #[must_use]
+    pub fn total_device_failures(&self) -> u32 {
+        self.cells.iter().map(LifecycleCell::device_failures).sum()
+    }
+
+    /// Failed slots refilled from junkyard stock across the horizon.
+    #[must_use]
+    pub fn total_devices_replaced(&self) -> u32 {
+        self.cells.iter().map(LifecycleCell::devices_replaced).sum()
+    }
+}
+
+/// The runtime state of one cohort slot during the dynamics pass.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    battery: BatteryState,
+    /// `Some(day)` while the slot is down: it refills at the start of
+    /// `day`.
+    down_until: Option<usize>,
+}
+
+/// A multi-year fleet lifecycle simulation.
+#[derive(Debug, Clone)]
+pub struct LifecycleSim {
+    sites: Vec<LifecycleSite>,
+    schedule: DiurnalSchedule,
+    policy: RoutingPolicy,
+    config: LifecycleConfig,
+}
+
+impl LifecycleSim {
+    /// Assembles a lifecycle run. `schedule`'s day curve is repeated over
+    /// the whole horizon (its own day count is overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no sites.
+    #[must_use]
+    pub fn new(
+        sites: Vec<LifecycleSite>,
+        schedule: DiurnalSchedule,
+        policy: RoutingPolicy,
+        config: LifecycleConfig,
+    ) -> Self {
+        assert!(!sites.is_empty(), "a lifecycle needs at least one site");
+        Self {
+            sites,
+            schedule,
+            policy,
+            config,
+        }
+    }
+
+    /// The fleet's sites.
+    #[must_use]
+    pub fn sites(&self) -> &[LifecycleSite] {
+        &self.sites
+    }
+
+    /// The run configuration.
+    #[must_use]
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.config
+    }
+
+    /// The serial dynamics pass for one site: day-stepped battery wear
+    /// under the smart-charging schedule, pack replacements, stochastic
+    /// failures and junkyard refills. Deterministic for a given seed —
+    /// worker threads never touch this state.
+    fn simulate_dynamics(&self, site_index: usize, days: usize) -> Vec<DayDynamics> {
+        let site = &self.sites[site_index];
+        match &site.backend {
+            Backend::Leased {
+                capacity_qps,
+                idle_power,
+                dynamic_power,
+                embodied,
+                amortization,
+            } => {
+                let daily_embodied =
+                    *embodied * (TimeSpan::from_days(1.0).seconds() / amortization.seconds());
+                (0..days)
+                    .map(|_| DayDynamics {
+                        alive: 0,
+                        capacity_qps: *capacity_qps,
+                        idle_power: *idle_power,
+                        dynamic_power: *dynamic_power,
+                        overhead_power: Watts::ZERO,
+                        utilization_scale: 1.0,
+                        operational_scale: 1.0,
+                        embodied: daily_embodied,
+                        battery_replacements: 0,
+                        device_failures: 0,
+                        devices_replaced: 0,
+                    })
+                    .collect()
+            }
+            Backend::Cohort {
+                devices,
+                install_embodied,
+                overhead_power,
+                policy,
+                mean_days_between_failures,
+                replacement_lag_days,
+            } => {
+                let trace = site.region().trace();
+                let trace_days = trace.day_count();
+                let day_traces: Vec<IntensityTrace> = (0..trace_days)
+                    .map(|d| trace.day(d).expect("whole-day trace"))
+                    .collect();
+                let day_stats: Vec<DayStats> =
+                    day_traces.iter().map(DayStats::from_trace).collect();
+
+                let site_seed = decorrelate_seed(self.config.seed, site_index as u64 + 1);
+                let daily_hazard = if *mean_days_between_failures > 0.0 {
+                    1.0 - (-1.0 / mean_days_between_failures).exp()
+                } else {
+                    0.0
+                };
+
+                let mut slots: Vec<SlotState> = devices
+                    .iter()
+                    .map(|d| SlotState {
+                        battery: BatteryState::new_full(d.battery),
+                        down_until: None,
+                    })
+                    .collect();
+                let mut dynamics = Vec::with_capacity(days);
+
+                for day in 0..days {
+                    let mut embodied_today = GramsCo2e::ZERO;
+                    let mut devices_replaced = 0;
+                    if day == 0 {
+                        embodied_today += *install_embodied;
+                    }
+                    // Junkyard refills due today: a fresh donor device with
+                    // its own (free) pack fills the slot.
+                    for (slot, device) in slots.iter_mut().zip(devices) {
+                        if slot.down_until == Some(day) {
+                            slot.battery = BatteryState::new_full(device.battery);
+                            slot.down_until = None;
+                            devices_replaced += 1;
+                            embodied_today += device.replacement_embodied();
+                        }
+                    }
+
+                    let mut alive = 0;
+                    let mut capacity = 0.0;
+                    let mut idle = Watts::ZERO;
+                    let mut dynamic = Watts::ZERO;
+                    let mut baseline = GramsCo2e::ZERO;
+                    let mut smart = GramsCo2e::ZERO;
+                    let mut battery_replacements = 0;
+                    let day_trace = &day_traces[day % trace_days];
+                    let previous = if day == 0 {
+                        None
+                    } else {
+                        Some(&day_stats[(day + trace_days - 1) % trace_days])
+                    };
+                    for (slot, device) in slots.iter_mut().zip(devices) {
+                        if slot.down_until.is_some() {
+                            continue;
+                        }
+                        alive += 1;
+                        capacity += device.capacity_qps();
+                        idle += device.idle_power;
+                        dynamic += device.dynamic_power;
+                        let run = simulate_day(
+                            *policy,
+                            device.serving_power,
+                            &mut slot.battery,
+                            day_trace,
+                            previous,
+                            None,
+                        );
+                        baseline += run.baseline_carbon();
+                        smart += run.smart_carbon();
+                        battery_replacements += run.packs_replaced();
+                        embodied_today +=
+                            device.battery.embodied() * f64::from(run.packs_replaced());
+                    }
+
+                    // Failures strike at the end of the day; the slot is
+                    // down for `lag` whole days starting tomorrow.
+                    let mut device_failures = 0;
+                    if daily_hazard > 0.0 {
+                        for (index, slot) in slots.iter_mut().enumerate() {
+                            if slot.down_until.is_some() {
+                                continue;
+                            }
+                            let draw = decorrelate_seed(
+                                site_seed,
+                                (day * devices.len() + index) as u64 + 1,
+                            );
+                            let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                            if unit < daily_hazard {
+                                slot.down_until = Some(day + 1 + replacement_lag_days);
+                                device_failures += 1;
+                            }
+                        }
+                    }
+
+                    dynamics.push(DayDynamics {
+                        alive,
+                        capacity_qps: capacity,
+                        idle_power: idle,
+                        dynamic_power: dynamic,
+                        overhead_power: *overhead_power,
+                        utilization_scale: if alive > 0 {
+                            devices.len() as f64 / alive as f64
+                        } else {
+                            1.0
+                        },
+                        operational_scale: if baseline.grams() > 0.0 {
+                            smart.grams() / baseline.grams()
+                        } else {
+                            1.0
+                        },
+                        embodied: embodied_today,
+                        battery_replacements,
+                        device_failures,
+                        devices_replaced,
+                    });
+                }
+                dynamics
+            }
+        }
+    }
+
+    /// Runs the lifecycle and returns the accounting grid.
+    ///
+    /// The serial passes (per-site daily dynamics, per-window routing
+    /// plans) run first; the (year, site) measurement cells then fan out
+    /// across scoped worker threads into pre-assigned slots, so the
+    /// result is bit-identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates microsim errors; with multiple failures the
+    /// lowest-index cell's error wins.
+    pub fn run(&self) -> Result<LifecycleResult, SimError> {
+        let days = self.config.years * DAYS_PER_YEAR;
+        let wpd = self.config.windows_per_day;
+        let sites = self.sites.len();
+        let schedule = self.schedule.clone().days(days);
+        let windows = schedule.windows(wpd);
+
+        // Serial pass 1: per-site daily dynamics.
+        let dynamics: Vec<Vec<DayDynamics>> = (0..sites)
+            .map(|s| self.simulate_dynamics(s, days))
+            .collect();
+
+        // Serial pass 2: per-window routing plans against the capacity
+        // actually alive that day, plus the window-mean intensities the
+        // cells will charge energy at.
+        let mut intensities: Vec<Vec<CarbonIntensity>> = Vec::with_capacity(windows.len());
+        let mut plans: Vec<WindowAssignment> = Vec::with_capacity(windows.len());
+        for window in &windows {
+            let day = window.index() / wpd;
+            let window_intensities: Vec<CarbonIntensity> = self
+                .sites
+                .iter()
+                .map(|site| {
+                    site.region()
+                        .mean_intensity_between(window.start(), window.end())
+                })
+                .collect();
+            let inputs: Vec<SiteWindowInput> = (0..sites)
+                .map(|s| SiteWindowInput {
+                    capacity_qps: dynamics[s][day].capacity_qps,
+                    intensity: window_intensities[s],
+                })
+                .collect();
+            plans.push(plan_window_inputs(self.policy, &inputs, window));
+            intensities.push(window_intensities);
+        }
+
+        // Parallel pass: (year, site) cells into order-preserving slots.
+        let n = self.config.years * sites;
+        let workers = self
+            .config
+            .parallelism
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZero::get))
+            .min(n)
+            .max(1);
+        let cell_inputs: Vec<(usize, usize)> = (0..n).map(|i| (i / sites, i % sites)).collect();
+        let mut slots: Vec<Option<Result<LifecycleCell, SimError>>> =
+            (0..n).map(|_| None).collect();
+        if workers == 1 {
+            for (slot, &(year, site)) in slots.iter_mut().zip(&cell_inputs) {
+                *slot =
+                    Some(self.measure_cell(year, site, &windows, &plans, &intensities, &dynamics));
+            }
+        } else {
+            type CellSlot<'s> = (
+                usize,
+                usize,
+                &'s mut Option<Result<LifecycleCell, SimError>>,
+            );
+            let mut shares: Vec<Vec<CellSlot<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+            for (index, (slot, &(year, site))) in slots.iter_mut().zip(&cell_inputs).enumerate() {
+                shares[index % workers].push((year, site, slot));
+            }
+            thread::scope(|scope| {
+                for share in shares {
+                    let windows = &windows;
+                    let plans = &plans;
+                    let intensities = &intensities;
+                    let dynamics = &dynamics;
+                    scope.spawn(move || {
+                        for (year, site, slot) in share {
+                            *slot = Some(self.measure_cell(
+                                year,
+                                site,
+                                windows,
+                                plans,
+                                intensities,
+                                dynamics,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut cells = Vec::with_capacity(n);
+        for slot in slots {
+            cells.push(slot.expect("every lifecycle cell slot is filled by its worker")?);
+        }
+
+        let mut day_ledger = vec![
+            DayLedger {
+                requests: 0.0,
+                operational: GramsCo2e::ZERO,
+                embodied: GramsCo2e::ZERO,
+            };
+            days
+        ];
+        let mut total_requests = 0.0;
+        let mut total_operational = GramsCo2e::ZERO;
+        let mut total_embodied = GramsCo2e::ZERO;
+        for cell in &cells {
+            total_requests += cell.requests;
+            total_operational += cell.operational;
+            total_embodied += cell.embodied;
+            for (offset, ledger) in cell.daily.iter().enumerate() {
+                let merged = &mut day_ledger[cell.year * DAYS_PER_YEAR + offset];
+                merged.requests += ledger.requests;
+                merged.operational += ledger.operational;
+                merged.embodied += ledger.embodied;
+            }
+        }
+        let shed_requests = plans
+            .iter()
+            .map(|p| p.shed_mean_qps() * windows[0].duration().seconds())
+            .sum();
+
+        Ok(LifecycleResult {
+            policy: self.policy,
+            site_names: self.sites.iter().map(|s| s.name().to_owned()).collect(),
+            years: self.config.years,
+            cells,
+            day_ledger,
+            shed_requests,
+            total_requests,
+            total_operational,
+            total_embodied,
+        })
+    }
+
+    /// Aggregates one (year, site) cell: every window of the year at this
+    /// site, with microsim slices memoised by their `(start, end)` load
+    /// pair — the schedule repeats daily and capacity is
+    /// piecewise-constant between failure events, so only a handful of
+    /// distinct slices are actually simulated.
+    fn measure_cell(
+        &self,
+        year: usize,
+        site_idx: usize,
+        windows: &[LoadWindow],
+        plans: &[WindowAssignment],
+        intensities: &[Vec<CarbonIntensity>],
+        dynamics: &[Vec<DayDynamics>],
+    ) -> Result<LifecycleCell, SimError> {
+        let site = &self.sites[site_idx];
+        let wpd = self.config.windows_per_day;
+        let sites = self.sites.len();
+        let mut memo: HashMap<(u64, u64), (f64, f64, f64)> = HashMap::new();
+
+        let mut requests = 0.0;
+        let mut operational = GramsCo2e::ZERO;
+        let mut embodied = GramsCo2e::ZERO;
+        let mut battery_replacements = 0;
+        let mut device_failures = 0;
+        let mut devices_replaced = 0;
+        let mut alive_sum = 0usize;
+        let mut worst_tail_ms: f64 = 0.0;
+        let mut daily = Vec::with_capacity(DAYS_PER_YEAR);
+
+        let year_days = &dynamics[site_idx][year * DAYS_PER_YEAR..(year + 1) * DAYS_PER_YEAR];
+        for (offset, state) in year_days.iter().enumerate() {
+            let day = year * DAYS_PER_YEAR + offset;
+            alive_sum += state.alive;
+            battery_replacements += state.battery_replacements;
+            device_failures += state.device_failures;
+            devices_replaced += state.devices_replaced;
+            let mut day_requests = 0.0;
+            let mut day_operational = GramsCo2e::ZERO;
+            for k in 0..wpd {
+                let w = day * wpd + k;
+                let window = &windows[w];
+                let (qps_start, qps_end) = plans[w].shares()[site_idx];
+                let mean_qps = (qps_start + qps_end) / 2.0;
+                let (utilization, tail_ms) = if mean_qps > 0.0 {
+                    let key = (qps_start.to_bits(), qps_end.to_bits());
+                    let (util, _, tail) = if let Some(cached) = memo.get(&key) {
+                        *cached
+                    } else {
+                        let seed =
+                            decorrelate_seed(self.config.seed, (w * sites + site_idx) as u64 + 1);
+                        let measured = self.measure_slice(site, qps_start, qps_end, seed)?;
+                        memo.insert(key, measured);
+                        measured
+                    };
+                    ((util * state.utilization_scale).min(1.0), tail)
+                } else {
+                    (0.0, 0.0)
+                };
+                worst_tail_ms = worst_tail_ms.max(tail_ms);
+                // Battery-backed device energy earns the smart-charging
+                // scale; the overhead draw (fan, switch) has no battery
+                // to time-shift it and is billed at face value.
+                let device_energy =
+                    (state.idle_power + state.dynamic_power * utilization) * window.duration();
+                let overhead_energy = state.overhead_power * window.duration();
+                let intensity = intensities[w][site_idx];
+                let op = intensity.emissions_for(device_energy) * state.operational_scale
+                    + intensity.emissions_for(overhead_energy);
+                day_operational += op;
+                day_requests += mean_qps * window.duration().seconds();
+            }
+            requests += day_requests;
+            operational += day_operational;
+            embodied += state.embodied;
+            daily.push(DayLedger {
+                requests: day_requests,
+                operational: day_operational,
+                embodied: state.embodied,
+            });
+        }
+
+        Ok(LifecycleCell {
+            year,
+            site: site_idx,
+            requests,
+            operational,
+            embodied,
+            battery_replacements,
+            device_failures,
+            devices_replaced,
+            mean_alive: alive_sum as f64 / DAYS_PER_YEAR as f64,
+            worst_tail_ms,
+            daily,
+        })
+    }
+
+    /// Runs one representative microsim slice (warm-up at the start rate,
+    /// then a ramp to the end rate) and returns `(utilisation, median_ms,
+    /// tail_ms)` over the measured window.
+    fn measure_slice(
+        &self,
+        site: &LifecycleSite,
+        qps_start: f64,
+        qps_end: f64,
+        seed: u64,
+    ) -> Result<(f64, f64, f64), SimError> {
+        let warm = self.config.warmup_s;
+        let slice = self.config.sim_slice_s;
+        let request_type = site.request_type.as_deref();
+        let mut phases = Vec::with_capacity(2);
+        if warm > 0.0 {
+            phases.push(Phase::new(qps_start, warm, request_type));
+        }
+        phases.push(Phase::ramp(qps_start, qps_end, slice, request_type));
+        let workload = Workload::phased(phases, seed);
+        let metrics = site.sim.run(&workload)?;
+        let stats = metrics.latency_stats_between(warm, warm + slice);
+        // Whole-second boundaries (enforced by `LifecycleConfig`), so the
+        // bucket range covers exactly the measured slice.
+        let from_bucket = warm as usize;
+        let to_bucket = (warm + slice) as usize;
+        let nodes = metrics.node_utilization();
+        let utilization = nodes
+            .iter()
+            .map(|u| u.mean_percent_between(from_bucket, to_bucket))
+            .sum::<f64>()
+            / nodes.len() as f64
+            / 100.0;
+        Ok((
+            utilization,
+            stats.median_ms().unwrap_or(0.0),
+            stats.tail_ms().unwrap_or(0.0),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use junkyard_grid::synth::CaisoSynthesizer;
+    use junkyard_microsim::app::hotel_reservation;
+    use junkyard_microsim::network::NetworkModel;
+    use junkyard_microsim::node::NodeSpec;
+    use junkyard_microsim::placement::Placement;
+
+    fn tiny_sim() -> Simulation {
+        let app = hotel_reservation();
+        let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
+        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+    }
+
+    fn phone_slot(capacity: f64) -> CohortDevice {
+        CohortDevice::new(
+            "Pixel 3A",
+            Watts::new(1.7),
+            BatterySpec::pixel_3a(),
+            GramsCo2e::from_kilograms(5.5),
+            capacity,
+        )
+        .power(Watts::new(0.8), Watts::new(1.7))
+    }
+
+    fn diurnal_region(seed: u64) -> GridRegion {
+        GridRegion::new(
+            "caiso",
+            CaisoSynthesizer::new(seed, 3)
+                .step(TimeSpan::from_minutes(30.0))
+                .intensity_trace(),
+        )
+    }
+
+    fn flat_region(grams: f64) -> GridRegion {
+        GridRegion::new(
+            "flat",
+            IntensityTrace::constant(
+                CarbonIntensity::from_grams_per_kwh(grams),
+                TimeSpan::from_hours(1.0),
+                TimeSpan::from_days(1.0),
+            ),
+        )
+    }
+
+    fn cohort_site(seed: u64, devices: usize) -> LifecycleSite {
+        LifecycleSite::cohort(
+            "cloudlet",
+            &tiny_sim(),
+            diurnal_region(seed),
+            (0..devices).map(|_| phone_slot(300.0)).collect(),
+            GramsCo2e::from_kilograms(20.0),
+        )
+        .overhead_power(Watts::new(4.0))
+        .failures(400.0, 5)
+    }
+
+    fn leased_site(capacity: f64) -> LifecycleSite {
+        LifecycleSite::leased("datacenter", &tiny_sim(), flat_region(420.0), capacity)
+            .power(Watts::new(120.0), Watts::new(90.0))
+            .embodied(
+                GramsCo2e::from_kilograms(1_344.0),
+                TimeSpan::from_years(4.0),
+            )
+    }
+
+    fn quick_config(years: usize) -> LifecycleConfig {
+        LifecycleConfig::new(years)
+            .windows_per_day(2)
+            .sim_slice_s(1.0)
+            .warmup_s(0.0)
+    }
+
+    #[test]
+    fn lifecycle_accrues_wear_failures_and_embodied_events() {
+        let sim = LifecycleSim::new(
+            vec![cohort_site(9, 4), leased_site(800.0)],
+            DiurnalSchedule::office_day(500.0),
+            RoutingPolicy::carbon_aware(),
+            quick_config(3),
+        );
+        let result = sim.run().unwrap();
+        assert_eq!(result.cells().len(), 6);
+        assert_eq!(result.day_ledger().len(), 3 * DAYS_PER_YEAR);
+        assert!(result.total_requests() > 0.0);
+        // Pixel packs at ~1.7 W wear out in ~2.1 years: three years of
+        // service must replace batteries, driven by simulated wear.
+        assert!(result.total_battery_replacements() > 0);
+        // A 400-day MTBF across 4 devices over 3 years virtually
+        // guarantees failures — and every failure is eventually refilled.
+        assert!(result.total_device_failures() > 0);
+        assert!(result.total_devices_replaced() > 0);
+        // Day 0 carries the cloudlet's install embodied.
+        let first_day = result.cell(0, 0).daily()[0];
+        assert!(first_day.embodied().kilograms() >= 20.0);
+    }
+
+    #[test]
+    fn capacity_shrinks_during_outages_and_routing_responds() {
+        let sim = LifecycleSim::new(
+            vec![cohort_site(9, 4), leased_site(800.0)],
+            DiurnalSchedule::office_day(900.0),
+            RoutingPolicy::carbon_aware(),
+            quick_config(2),
+        );
+        let dynamics = sim.simulate_dynamics(0, 2 * DAYS_PER_YEAR);
+        let full = dynamics[0].capacity_qps();
+        assert!((full - 1_200.0).abs() < 1e-9);
+        // Outage days exist and carry reduced capacity.
+        let shrunk: Vec<&DayDynamics> = dynamics.iter().filter(|d| d.alive() < 4).collect();
+        assert!(!shrunk.is_empty(), "no outages in two years");
+        assert!(shrunk.iter().all(|d| d.capacity_qps() < full));
+        // And capacity recovers after the lag.
+        assert!(dynamics.last().unwrap().capacity_qps() > 0.0);
+        // The run itself stays capacity-safe while capacity moves.
+        let result = sim.run().unwrap();
+        assert!(result.total_requests() > 0.0);
+        assert!(result.shed_requests() >= 0.0);
+    }
+
+    #[test]
+    fn threaded_lifecycle_is_bit_identical_to_serial() {
+        let run = |workers: usize| {
+            LifecycleSim::new(
+                vec![cohort_site(5, 3), leased_site(700.0)],
+                DiurnalSchedule::office_day(600.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(2).parallelism(workers),
+            )
+            .run()
+            .unwrap()
+        };
+        let serial = run(1);
+        for workers in [2, 4, 7] {
+            assert_eq!(serial, run(workers), "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn smart_charging_scales_operational_carbon_on_diurnal_grids() {
+        // A full synthetic month at the calibrated 5-minute step: coarse
+        // steps blunt the policy (one 30-minute charge quantum nearly
+        // fills a phone pack), so the savings assertion runs at the
+        // fidelity the paper's Figure 4 uses.
+        let region = GridRegion::new(
+            "caiso-month",
+            CaisoSynthesizer::april_2021_like(3).intensity_trace(),
+        );
+        let site = LifecycleSite::cohort(
+            "cloudlet",
+            &tiny_sim(),
+            region,
+            vec![phone_slot(300.0), phone_slot(300.0)],
+            GramsCo2e::ZERO,
+        );
+        let sim = LifecycleSim::new(
+            vec![site],
+            DiurnalSchedule::flat(100.0),
+            RoutingPolicy::Static,
+            quick_config(1),
+        );
+        let dynamics = sim.simulate_dynamics(0, 30);
+        // Warm-up day 0 has no history; later days shift charging into the
+        // solar trough and beat the always-on-wall baseline.
+        let scales: Vec<f64> = dynamics
+            .iter()
+            .skip(1)
+            .map(DayDynamics::operational_scale)
+            .collect();
+        let mean = scales.iter().sum::<f64>() / scales.len() as f64;
+        assert!(mean < 1.0, "mean scale {mean}");
+        assert!(mean > 0.7, "mean scale {mean}");
+    }
+
+    #[test]
+    fn leased_sites_amortise_embodied_linearly() {
+        let sim = LifecycleSim::new(
+            vec![leased_site(500.0)],
+            DiurnalSchedule::flat(100.0),
+            RoutingPolicy::Static,
+            quick_config(1),
+        );
+        let result = sim.run().unwrap();
+        let expected_daily = 1_344.0 / (4.0 * 365.25);
+        let total = result.total_embodied().kilograms();
+        assert!(
+            (total - expected_daily * 365.0).abs() < 1e-6,
+            "got {total} kg"
+        );
+        assert_eq!(result.total_battery_replacements(), 0);
+    }
+
+    #[test]
+    fn trajectory_amortises_the_install_over_years() {
+        let sim = LifecycleSim::new(
+            vec![cohort_site(11, 3)],
+            DiurnalSchedule::flat(200.0),
+            RoutingPolicy::Static,
+            quick_config(3),
+        );
+        let result = sim.run().unwrap();
+        let trajectory = result.yearly_trajectory();
+        assert_eq!(trajectory.len(), 3);
+        // Cumulative carbon per request falls as the install amortises
+        // (battery replacements notwithstanding at this light load).
+        assert!(trajectory[0].1 > trajectory[2].1);
+        let through_first_year = result
+            .grams_per_request_through_day(DAYS_PER_YEAR - 1)
+            .unwrap();
+        assert!((through_first_year - trajectory[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of days")]
+    fn partial_day_region_panics() {
+        let trace = IntensityTrace::constant(
+            CarbonIntensity::from_grams_per_kwh(300.0),
+            TimeSpan::from_hours(1.0),
+            TimeSpan::from_hours(30.0),
+        );
+        let _ = LifecycleSite::cohort(
+            "bad",
+            &tiny_sim(),
+            GridRegion::new("bad", trace),
+            vec![phone_slot(100.0)],
+            GramsCo2e::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort power comes from its devices")]
+    fn cohort_rejects_leased_builders() {
+        let _ = cohort_site(1, 1).power(Watts::new(1.0), Watts::new(1.0));
+    }
+}

@@ -17,6 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::units::CarbonIntensity;
+
 use crate::schedule::LoadWindow;
 use crate::site::FleetSite;
 
@@ -91,6 +93,18 @@ impl WindowAssignment {
     }
 }
 
+/// The per-site facts a routing policy needs to split one window: how
+/// much the site can take and how dirty its grid is over the window. The
+/// lifecycle simulator re-plans every window from these as cohort
+/// capacity shrinks and recovers, without rebuilding [`FleetSite`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteWindowInput {
+    /// Highest offered load the router may assign, requests/second.
+    pub capacity_qps: f64,
+    /// Window-mean carbon intensity of the site's grid region.
+    pub intensity: CarbonIntensity,
+}
+
 /// Plans one window's assignment under `policy`.
 ///
 /// The split is computed against the window's *peak* rate, so the
@@ -106,6 +120,30 @@ pub fn plan_window(
     sites: &[FleetSite],
     window: &LoadWindow,
 ) -> WindowAssignment {
+    let inputs: Vec<SiteWindowInput> = sites
+        .iter()
+        .map(|s| SiteWindowInput {
+            capacity_qps: s.capacity_qps(),
+            intensity: s
+                .region()
+                .mean_intensity_between(window.start(), window.end()),
+        })
+        .collect();
+    plan_window_inputs(policy, &inputs, window)
+}
+
+/// Plans one window's assignment from pre-computed per-site inputs (see
+/// [`plan_window`] for the capacity semantics).
+///
+/// # Panics
+///
+/// Panics if a carbon-aware policy's utilisation cap is outside `(0, 1]`.
+#[must_use]
+pub fn plan_window_inputs(
+    policy: RoutingPolicy,
+    sites: &[SiteWindowInput],
+    window: &LoadWindow,
+) -> WindowAssignment {
     let peak = window.peak_qps();
     if peak <= 0.0 {
         return WindowAssignment {
@@ -118,14 +156,19 @@ pub fn plan_window(
     // the policies differ only in how these are chosen.
     let fractions: Vec<f64> = match policy {
         RoutingPolicy::Static => {
-            let total_cap: f64 = sites.iter().map(FleetSite::capacity_qps).sum();
-            // Proportional shares saturate all sites simultaneously, so a
-            // single scale factor keeps every site within capacity.
-            let scale = (total_cap / peak).min(1.0);
-            sites
-                .iter()
-                .map(|s| s.capacity_qps() / total_cap * scale)
-                .collect()
+            let total_cap: f64 = sites.iter().map(|s| s.capacity_qps).sum();
+            if total_cap <= 0.0 {
+                // Nothing can serve: everything sheds.
+                vec![0.0; sites.len()]
+            } else {
+                // Proportional shares saturate all sites simultaneously, so
+                // a single scale factor keeps every site within capacity.
+                let scale = (total_cap / peak).min(1.0);
+                sites
+                    .iter()
+                    .map(|s| s.capacity_qps / total_cap * scale)
+                    .collect()
+            }
         }
         RoutingPolicy::CarbonAware { utilization_cap } => {
             assert!(
@@ -138,14 +181,7 @@ pub fn plan_window(
             let mut order: Vec<(usize, f64)> = sites
                 .iter()
                 .enumerate()
-                .map(|(i, s)| {
-                    (
-                        i,
-                        s.region()
-                            .mean_intensity_between(window.start(), window.end())
-                            .grams_per_kwh(),
-                    )
-                })
+                .map(|(i, s)| (i, s.intensity.grams_per_kwh()))
                 .collect();
             order.sort_by(|a, b| {
                 a.1.partial_cmp(&b.1)
@@ -158,7 +194,7 @@ pub fn plan_window(
                 if remaining <= 0.0 {
                     break;
                 }
-                let cap = sites[index].capacity_qps() * utilization_cap;
+                let cap = sites[index].capacity_qps * utilization_cap;
                 let take = remaining.min(cap);
                 fractions[index] = take / peak;
                 remaining -= take;
