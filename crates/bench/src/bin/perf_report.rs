@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use junkyard_core::fleet_study::FleetStudy;
 use junkyard_core::lifecycle_study::LifecycleStudy;
+use junkyard_core::planner_study::PlannerStudy;
 
 use junkyard_microsim::app::{hotel_reservation, social_network, SN_COMPOSE_POST};
 use junkyard_microsim::compiled::CompiledSim;
@@ -136,6 +137,19 @@ fn main() {
     let lifecycle_wall_ms = lifecycle_start.elapsed().as_secs_f64() * 1_000.0;
     let lifecycle_cells = lifecycle.cloudlet().cells().len() + lifecycle.datacenter().cells().len();
 
+    // The provisioning search: the quick planner study (enumerate,
+    // screen, successive halving, local search), timed end to end so the
+    // search layer's wall clock, evaluation count and cache hit rate are
+    // tracked across PRs.
+    let planner_start = Instant::now();
+    let planner = PlannerStudy::quick().run().expect("the planner study runs");
+    let planner_wall_ms = planner_start.elapsed().as_secs_f64() * 1_000.0;
+    let planner_outcome = planner.outcome();
+    assert!(
+        planner_outcome.cache_hit_rate() > 0.0,
+        "the planner search must record cache hits (mutation rounds revisit elites)"
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"microsim_engine\",\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
@@ -179,11 +193,11 @@ fn main() {
         fleet.baseline().grams_per_request().unwrap_or(0.0) * 1_000.0,
         fleet.carbon_aware().grams_per_request().unwrap_or(0.0) * 1_000.0,
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  \"lifecycle\": {{\"years\": {}, \"cells\": {}, \"wall_ms\": {:.3}, \
          \"cloudlet_mg_per_request\": {:.6}, \"datacenter_mg_per_request\": {:.6}, \
-         \"crossover_day\": {}}}\n}}\n",
+         \"crossover_day\": {}}},",
         lifecycle.cloudlet().years(),
         lifecycle_cells,
         lifecycle_wall_ms,
@@ -192,6 +206,34 @@ fn main() {
         lifecycle
             .crossover_day()
             .map_or("null".to_owned(), |d| d.to_string()),
+    );
+    let _ = write!(
+        json,
+        "  \"planner\": {{\"wall_ms\": {:.3}, \"candidates_enumerated\": {}, \
+         \"screened_out\": {}, \"candidates_evaluated\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \"frontier_size\": {}, \
+         \"best_mg_per_request\": {:.6}, \"baseline_mg_per_request\": {:.6}, \
+         \"improvement_percent\": {:.4}}}\n}}\n",
+        planner_wall_ms,
+        planner_outcome.candidates_enumerated(),
+        planner_outcome.screened_out(),
+        planner_outcome.fresh_evaluations(),
+        planner_outcome.cache_hits(),
+        planner_outcome.cache_misses(),
+        planner_outcome.cache_hit_rate(),
+        planner_outcome.frontier().len(),
+        planner
+            .best()
+            .and_then(|b| b.evaluation().grams_per_request())
+            .unwrap_or(0.0)
+            * 1_000.0,
+        planner
+            .baseline()
+            .evaluation()
+            .grams_per_request()
+            .unwrap_or(0.0)
+            * 1_000.0,
+        planner.improvement_percent(),
     );
 
     std::fs::write(&output, &json).expect("report file is writable");
@@ -234,5 +276,24 @@ fn main() {
         lifecycle_wall_ms,
         lifecycle.cloudlet().grams_per_request().unwrap_or(0.0) * 1_000.0,
         lifecycle.datacenter().grams_per_request().unwrap_or(0.0) * 1_000.0,
+    );
+    println!(
+        "  planner search ({} candidates, {} simulations, {:.0}% cache hits): {:.1} ms, \
+         argmin {:.4} vs hand-built {:.4} mgCO2e/request",
+        planner_outcome.candidates_enumerated(),
+        planner_outcome.fresh_evaluations(),
+        planner_outcome.cache_hit_rate() * 100.0,
+        planner_wall_ms,
+        planner
+            .best()
+            .and_then(|b| b.evaluation().grams_per_request())
+            .unwrap_or(0.0)
+            * 1_000.0,
+        planner
+            .baseline()
+            .evaluation()
+            .grams_per_request()
+            .unwrap_or(0.0)
+            * 1_000.0,
     );
 }

@@ -1,0 +1,111 @@
+//! Planner study: the SLO-constrained, carbon-minimal provisioning
+//! search over the two-region CAISO deployment space, with the
+//! hand-built lifecycle cloudlet scored as the baseline.
+//!
+//! Runs the reduced study by default; set `JUNKYARD_FULL=1` for the
+//! full-scale space and fidelity ladder (slower). Writes the frontier,
+//! the argmin, the baseline comparison and the search bookkeeping to
+//! `PLANNER_study.json` (or the path given as the first argument) so CI
+//! can archive them with the perf report.
+
+use std::fmt::Write as _;
+
+use junkyard_bench::{emit_table, full_scale};
+use junkyard_core::planner_study::PlannerStudy;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "PLANNER_study.json".to_owned());
+    let study = if full_scale() {
+        PlannerStudy::paper_scale()
+    } else {
+        PlannerStudy::quick()
+    };
+    let result = study.run().expect("the planner study builds and runs");
+    emit_table(&result.frontier_table());
+
+    let outcome = result.outcome();
+    let best = outcome
+        .best()
+        .expect("the study's space contains feasible deployments");
+    let baseline = result.baseline();
+    println!(
+        "argmin: {} at {:.4} mgCO2e/request ({} phones, p99 {:.1} ms)",
+        best.label(),
+        best.evaluation().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        best.evaluation().devices(),
+        best.evaluation().worst_p99_ms(),
+    );
+    println!(
+        "hand-built baseline: {} at {:.4} mgCO2e/request -> planner improvement {:.2}%",
+        baseline.label(),
+        baseline.evaluation().grams_per_request().unwrap_or(0.0) * 1_000.0,
+        result.improvement_percent(),
+    );
+    println!(
+        "search: {} candidates enumerated, {} screened out, rungs {:?}, \
+         {} simulations, cache {}/{} lookups hit ({:.1}%)",
+        outcome.candidates_enumerated(),
+        outcome.screened_out(),
+        outcome.rung_populations(),
+        outcome.fresh_evaluations(),
+        outcome.cache_hits(),
+        outcome.cache_hits() + outcome.cache_misses(),
+        outcome.cache_hit_rate() * 100.0,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"study\": \"planner\",\n");
+    let slo = result.slo();
+    let _ = writeln!(
+        json,
+        "  \"slo\": {{\"median_ms\": {}, \"tail_ms\": {}, \"max_shed_fraction\": {}}},",
+        slo.median_limit_ms(),
+        slo.tail_limit_ms(),
+        slo.max_shed_fraction(),
+    );
+    let deployment_json = |planned: &junkyard_planner::PlannedDeployment| {
+        let e = planned.evaluation();
+        format!(
+            "{{\"label\": \"{}\", \"devices\": {}, \"grams_per_request\": {:.9}, \
+             \"p99_ms\": {:.3}, \"tail_ms\": {:.3}, \"median_ms\": {:.3}, \"shed_fraction\": {:.6}}}",
+            planned.label(),
+            e.devices(),
+            e.grams_per_request().unwrap_or(0.0),
+            e.worst_p99_ms(),
+            e.worst_tail_ms(),
+            e.worst_median_ms(),
+            e.shed_fraction(),
+        )
+    };
+    let frontier: Vec<String> = outcome.frontier().iter().map(deployment_json).collect();
+    let _ = writeln!(
+        json,
+        "  \"frontier\": [\n    {}\n  ],",
+        frontier.join(",\n    ")
+    );
+    let _ = writeln!(json, "  \"best\": {},", deployment_json(best));
+    let _ = writeln!(json, "  \"baseline\": {},", deployment_json(baseline));
+    let _ = writeln!(
+        json,
+        "  \"improvement_percent\": {:.4},\n  \"matches_or_beats_baseline\": {},",
+        result.improvement_percent(),
+        result.matches_or_beats_baseline(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"search\": {{\"candidates_enumerated\": {}, \"screened_out\": {}, \
+         \"rung_populations\": {:?}, \"fresh_evaluations\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"cache_hit_rate\": {:.6}}}\n}}",
+        outcome.candidates_enumerated(),
+        outcome.screened_out(),
+        outcome.rung_populations(),
+        outcome.fresh_evaluations(),
+        outcome.cache_hits(),
+        outcome.cache_misses(),
+        outcome.cache_hit_rate(),
+    );
+    std::fs::write(&output, &json).expect("report file is writable");
+    println!("wrote {output}");
+}

@@ -16,6 +16,7 @@
 //! | [`deployments`], [`cloudlet_study`] | Figures 7, 8 and 9 |
 //! | [`fleet_study`] | the coupled carbon-aware fleet extension of Figs. 7–9 |
 //! | [`lifecycle_study`] | the multi-year Fig. 7-style amortised CCI trajectory |
+//! | [`planner_study`] | the SLO-constrained provisioning search over Figure 7's deployment space |
 //! | [`cost_study`] | the Section 6.2 cost comparison |
 //!
 //! Results are returned as [`report::Table`] and [`report::Chart`] values
@@ -45,6 +46,7 @@ pub mod deployments;
 pub mod energy_mix;
 pub mod fleet_study;
 pub mod lifecycle_study;
+pub mod planner_study;
 pub mod report;
 pub mod single_device;
 pub mod tables;
@@ -57,6 +59,7 @@ pub use datacenter_study::DatacenterStudy;
 pub use deployments::{build_deployment, DeploymentKind};
 pub use fleet_study::{FleetStudy, FleetStudyResult};
 pub use lifecycle_study::{LifecycleStudy, LifecycleStudyResult};
+pub use planner_study::{PlannerStudy, PlannerStudyResult};
 pub use report::{Chart, SeriesLine, Table};
 pub use single_device::SingleDeviceStudy;
 pub use thermal_study::{run_thermal_study, ThermalStudyResult};

@@ -189,8 +189,10 @@ impl LifecycleStudy {
 
     /// Per-slot serving capacities: the Pixel's paper-measured share of
     /// the ten-phone cloudlet, and the Nexus 4 scaled down by its
-    /// multi-core SGEMM ratio.
-    fn slot_capacities() -> (f64, f64) {
+    /// multi-core SGEMM ratio. Public so the planner study provisions
+    /// its candidate cohorts from the same calibration.
+    #[must_use]
+    pub fn slot_capacities() -> (f64, f64) {
         let per_pixel = CloudletWorkload::SocialNetworkWrite.paper_phone_qps() / 10.0;
         let pixel = catalog::pixel_3a();
         let nexus = catalog::nexus_4();

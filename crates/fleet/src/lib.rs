@@ -76,6 +76,8 @@ pub mod routing;
 pub mod schedule;
 pub mod sim;
 pub mod site;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use lifecycle::{
     CohortDevice, LifecycleCell, LifecycleConfig, LifecycleResult, LifecycleSim, LifecycleSite,

@@ -402,6 +402,7 @@ impl LifecycleSite {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LifecycleConfig {
     years: usize,
+    horizon_days: Option<usize>,
     windows_per_day: usize,
     sim_slice_s: f64,
     warmup_s: f64,
@@ -422,12 +423,29 @@ impl LifecycleConfig {
         assert!(years > 0, "the lifecycle needs at least one year");
         Self {
             years,
+            horizon_days: None,
             windows_per_day: 6,
             sim_slice_s: 1.0,
             warmup_s: 1.0,
             seed: 42,
             parallelism: None,
         }
+    }
+
+    /// Overrides the horizon with an exact number of days instead of whole
+    /// years — the planner's coarse-fidelity knob: a candidate deployment
+    /// can be screened on a few simulated days before the survivors earn a
+    /// multi-year run. Accounting cells still cover at most one year each;
+    /// the last cell is simply shorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is zero.
+    #[must_use]
+    pub fn horizon_days(mut self, days: usize) -> Self {
+        assert!(days > 0, "the lifecycle needs at least one day");
+        self.horizon_days = Some(days);
+        self
     }
 
     /// Sets the number of routing/accounting windows per day.
@@ -500,6 +518,13 @@ impl LifecycleConfig {
     #[must_use]
     pub fn years(&self) -> usize {
         self.years
+    }
+
+    /// Simulated days of the horizon: the explicit day override when set,
+    /// otherwise `years * 365`.
+    #[must_use]
+    pub fn total_days(&self) -> usize {
+        self.horizon_days.unwrap_or(self.years * DAYS_PER_YEAR)
     }
 }
 
@@ -618,7 +643,9 @@ pub struct LifecycleCell {
     device_failures: u32,
     devices_replaced: u32,
     mean_alive: f64,
+    worst_median_ms: f64,
     worst_tail_ms: f64,
+    worst_p99_ms: f64,
     daily: Vec<DayLedger>,
 }
 
@@ -684,10 +711,24 @@ impl LifecycleCell {
         self.mean_alive
     }
 
-    /// The worst measured tail latency of the year's slices, ms.
+    /// The worst measured median latency of the year's slices, ms.
+    #[must_use]
+    pub fn worst_median_ms(&self) -> f64 {
+        self.worst_median_ms
+    }
+
+    /// The worst measured tail (90th percentile) latency of the year's
+    /// slices, ms.
     #[must_use]
     pub fn worst_tail_ms(&self) -> f64 {
         self.worst_tail_ms
+    }
+
+    /// The worst measured 99th-percentile latency of the year's slices,
+    /// ms.
+    #[must_use]
+    pub fn worst_p99_ms(&self) -> f64 {
+        self.worst_p99_ms
     }
 
     /// The site's per-day ledger for the year.
@@ -847,6 +888,54 @@ impl LifecycleResult {
         None
     }
 
+    /// The worst measured median latency across every cell, ms — the
+    /// planner's median-SLO hook.
+    ///
+    /// Slices are measured on the full-strength topology even on days
+    /// when part of a cohort is down (only utilisation is rescaled by
+    /// the alive fraction — see the module docs), so outage-day
+    /// latencies are optimistic. Capacity-driven effects still register:
+    /// routing re-plans against the alive capacity, and overload shows
+    /// up as shed. This caveat applies to all three `worst_*` hooks.
+    #[must_use]
+    pub fn worst_median_ms(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(LifecycleCell::worst_median_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst measured tail (90th percentile) latency across every
+    /// cell, ms — the planner's tail-SLO hook.
+    #[must_use]
+    pub fn worst_tail_ms(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(LifecycleCell::worst_tail_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst measured 99th-percentile latency across every cell, ms.
+    #[must_use]
+    pub fn worst_p99_ms(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(LifecycleCell::worst_p99_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of the offered demand the router shed (0 when nothing was
+    /// offered) — the planner's shed-ceiling hook.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.total_requests + self.shed_requests;
+        if offered > 0.0 {
+            self.shed_requests / offered
+        } else {
+            0.0
+        }
+    }
+
     /// Battery packs replaced across the fleet and the horizon.
     #[must_use]
     pub fn total_battery_replacements(&self) -> u32 {
@@ -867,6 +956,16 @@ impl LifecycleResult {
     pub fn total_devices_replaced(&self) -> u32 {
         self.cells.iter().map(LifecycleCell::devices_replaced).sum()
     }
+}
+
+/// What one memoised microsim slice measured: the utilisation that prices
+/// the window's energy, and the latency percentiles the SLO hooks track.
+#[derive(Debug, Clone, Copy)]
+struct SliceMeasure {
+    utilization: f64,
+    median_ms: f64,
+    tail_ms: f64,
+    p99_ms: f64,
 }
 
 /// The runtime state of one cohort slot during the dynamics pass.
@@ -1098,7 +1197,8 @@ impl LifecycleSim {
     /// Propagates microsim errors; with multiple failures the
     /// lowest-index cell's error wins.
     pub fn run(&self) -> Result<LifecycleResult, SimError> {
-        let days = self.config.years * DAYS_PER_YEAR;
+        let days = self.config.total_days();
+        let years_spanned = days.div_ceil(DAYS_PER_YEAR);
         let wpd = self.config.windows_per_day;
         let sites = self.sites.len();
         let schedule = self.schedule.clone().days(days);
@@ -1135,7 +1235,7 @@ impl LifecycleSim {
         }
 
         // Parallel pass: (year, site) cells into order-preserving slots.
-        let n = self.config.years * sites;
+        let n = years_spanned * sites;
         let workers = self
             .config
             .parallelism
@@ -1147,8 +1247,15 @@ impl LifecycleSim {
             (0..n).map(|_| None).collect();
         if workers == 1 {
             for (slot, &(year, site)) in slots.iter_mut().zip(&cell_inputs) {
-                *slot =
-                    Some(self.measure_cell(year, site, &windows, &plans, &intensities, &dynamics));
+                *slot = Some(self.measure_cell(
+                    year,
+                    site,
+                    days,
+                    &windows,
+                    &plans,
+                    &intensities,
+                    &dynamics,
+                ));
             }
         } else {
             type CellSlot<'s> = (
@@ -1171,6 +1278,7 @@ impl LifecycleSim {
                             *slot = Some(self.measure_cell(
                                 year,
                                 site,
+                                days,
                                 windows,
                                 plans,
                                 intensities,
@@ -1217,7 +1325,7 @@ impl LifecycleSim {
         Ok(LifecycleResult {
             policy: self.policy,
             site_names: self.sites.iter().map(|s| s.name().to_owned()).collect(),
-            years: self.config.years,
+            years: years_spanned,
             cells,
             day_ledger,
             shed_requests,
@@ -1232,10 +1340,12 @@ impl LifecycleSim {
     /// pair — the schedule repeats daily and capacity is
     /// piecewise-constant between failure events, so only a handful of
     /// distinct slices are actually simulated.
+    #[allow(clippy::too_many_arguments)] // the cell's full serial context, passed by reference
     fn measure_cell(
         &self,
         year: usize,
         site_idx: usize,
+        total_days: usize,
         windows: &[LoadWindow],
         plans: &[WindowAssignment],
         intensities: &[Vec<CarbonIntensity>],
@@ -1244,7 +1354,7 @@ impl LifecycleSim {
         let site = &self.sites[site_idx];
         let wpd = self.config.windows_per_day;
         let sites = self.sites.len();
-        let mut memo: HashMap<(u64, u64), (f64, f64, f64)> = HashMap::new();
+        let mut memo: HashMap<(u64, u64), SliceMeasure> = HashMap::new();
 
         let mut requests = 0.0;
         let mut operational = GramsCo2e::ZERO;
@@ -1253,12 +1363,18 @@ impl LifecycleSim {
         let mut device_failures = 0;
         let mut devices_replaced = 0;
         let mut alive_sum = 0usize;
+        let mut worst_median_ms: f64 = 0.0;
         let mut worst_tail_ms: f64 = 0.0;
-        let mut daily = Vec::with_capacity(DAYS_PER_YEAR);
+        let mut worst_p99_ms: f64 = 0.0;
 
-        let year_days = &dynamics[site_idx][year * DAYS_PER_YEAR..(year + 1) * DAYS_PER_YEAR];
+        // The cell covers at most one year; a day-capped horizon leaves
+        // the last cell short.
+        let cell_start = year * DAYS_PER_YEAR;
+        let cell_end = ((year + 1) * DAYS_PER_YEAR).min(total_days);
+        let year_days = &dynamics[site_idx][cell_start..cell_end];
+        let mut daily = Vec::with_capacity(year_days.len());
         for (offset, state) in year_days.iter().enumerate() {
-            let day = year * DAYS_PER_YEAR + offset;
+            let day = cell_start + offset;
             alive_sum += state.alive;
             battery_replacements += state.battery_replacements;
             device_failures += state.device_failures;
@@ -1270,9 +1386,9 @@ impl LifecycleSim {
                 let window = &windows[w];
                 let (qps_start, qps_end) = plans[w].shares()[site_idx];
                 let mean_qps = (qps_start + qps_end) / 2.0;
-                let (utilization, tail_ms) = if mean_qps > 0.0 {
+                let (utilization, median_ms, tail_ms, p99_ms) = if mean_qps > 0.0 {
                     let key = (qps_start.to_bits(), qps_end.to_bits());
-                    let (util, _, tail) = if let Some(cached) = memo.get(&key) {
+                    let measured = if let Some(cached) = memo.get(&key) {
                         *cached
                     } else {
                         let seed =
@@ -1281,11 +1397,18 @@ impl LifecycleSim {
                         memo.insert(key, measured);
                         measured
                     };
-                    ((util * state.utilization_scale).min(1.0), tail)
+                    (
+                        (measured.utilization * state.utilization_scale).min(1.0),
+                        measured.median_ms,
+                        measured.tail_ms,
+                        measured.p99_ms,
+                    )
                 } else {
-                    (0.0, 0.0)
+                    (0.0, 0.0, 0.0, 0.0)
                 };
+                worst_median_ms = worst_median_ms.max(median_ms);
                 worst_tail_ms = worst_tail_ms.max(tail_ms);
+                worst_p99_ms = worst_p99_ms.max(p99_ms);
                 // Battery-backed device energy earns the smart-charging
                 // scale; the overhead draw (fan, switch) has no battery
                 // to time-shift it and is billed at face value.
@@ -1317,22 +1440,24 @@ impl LifecycleSim {
             battery_replacements,
             device_failures,
             devices_replaced,
-            mean_alive: alive_sum as f64 / DAYS_PER_YEAR as f64,
+            mean_alive: alive_sum as f64 / year_days.len() as f64,
+            worst_median_ms,
             worst_tail_ms,
+            worst_p99_ms,
             daily,
         })
     }
 
     /// Runs one representative microsim slice (warm-up at the start rate,
-    /// then a ramp to the end rate) and returns `(utilisation, median_ms,
-    /// tail_ms)` over the measured window.
+    /// then a ramp to the end rate) and returns its [`SliceMeasure`] over
+    /// the measured window.
     fn measure_slice(
         &self,
         site: &LifecycleSite,
         qps_start: f64,
         qps_end: f64,
         seed: u64,
-    ) -> Result<(f64, f64, f64), SimError> {
+    ) -> Result<SliceMeasure, SimError> {
         let warm = self.config.warmup_s;
         let slice = self.config.sim_slice_s;
         let request_type = site.request_type.as_deref();
@@ -1355,29 +1480,20 @@ impl LifecycleSim {
             .sum::<f64>()
             / nodes.len() as f64
             / 100.0;
-        Ok((
+        Ok(SliceMeasure {
             utilization,
-            stats.median_ms().unwrap_or(0.0),
-            stats.tail_ms().unwrap_or(0.0),
-        ))
+            median_ms: stats.median_ms().unwrap_or(0.0),
+            tail_ms: stats.tail_ms().unwrap_or(0.0),
+            p99_ms: stats.p99_ms().unwrap_or(0.0),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{flat_region, tiny_sim};
     use junkyard_grid::synth::CaisoSynthesizer;
-    use junkyard_microsim::app::hotel_reservation;
-    use junkyard_microsim::network::NetworkModel;
-    use junkyard_microsim::node::NodeSpec;
-    use junkyard_microsim::placement::Placement;
-
-    fn tiny_sim() -> Simulation {
-        let app = hotel_reservation();
-        let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
-        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
-        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
-    }
 
     fn phone_slot(capacity: f64) -> CohortDevice {
         CohortDevice::new(
@@ -1396,17 +1512,6 @@ mod tests {
             CaisoSynthesizer::new(seed, 3)
                 .step(TimeSpan::from_minutes(30.0))
                 .intensity_trace(),
-        )
-    }
-
-    fn flat_region(grams: f64) -> GridRegion {
-        GridRegion::new(
-            "flat",
-            IntensityTrace::constant(
-                CarbonIntensity::from_grams_per_kwh(grams),
-                TimeSpan::from_hours(1.0),
-                TimeSpan::from_days(1.0),
-            ),
         )
     }
 
@@ -1575,6 +1680,50 @@ mod tests {
             .grams_per_request_through_day(DAYS_PER_YEAR - 1)
             .unwrap();
         assert!((through_first_year - trajectory[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn day_capped_horizon_shortens_the_last_cell() {
+        let sim = |config: LifecycleConfig| {
+            LifecycleSim::new(
+                vec![cohort_site(9, 2)],
+                DiurnalSchedule::office_day(400.0),
+                RoutingPolicy::Static,
+                config,
+            )
+        };
+        // Three days fit inside one (short) year cell.
+        let short = sim(quick_config(1).horizon_days(3)).run().unwrap();
+        assert_eq!(short.cells().len(), 1);
+        assert_eq!(short.day_ledger().len(), 3);
+        assert_eq!(short.cell(0, 0).daily().len(), 3);
+        assert!(short.total_requests() > 0.0);
+        // 400 days span two cells: a full year and a 35-day remainder.
+        let spanning = sim(quick_config(1).horizon_days(400)).run().unwrap();
+        assert_eq!(spanning.years(), 2);
+        assert_eq!(spanning.cells().len(), 2);
+        assert_eq!(spanning.cell(0, 0).daily().len(), DAYS_PER_YEAR);
+        assert_eq!(spanning.cell(1, 0).daily().len(), 35);
+        assert_eq!(spanning.day_ledger().len(), 400);
+        // The day-capped prefix agrees with the plain run's first days.
+        let full = sim(quick_config(1)).run().unwrap();
+        assert_eq!(full.day_ledger()[..3], *short.day_ledger());
+    }
+
+    #[test]
+    fn latency_percentile_hooks_order_sensibly_under_load() {
+        let result = LifecycleSim::new(
+            vec![cohort_site(9, 2)],
+            DiurnalSchedule::office_day(500.0),
+            RoutingPolicy::Static,
+            quick_config(1).horizon_days(2),
+        )
+        .run()
+        .unwrap();
+        assert!(result.worst_median_ms() > 0.0);
+        assert!(result.worst_tail_ms() >= result.worst_median_ms());
+        assert!(result.worst_p99_ms() >= result.worst_tail_ms());
+        assert!((0.0..=1.0).contains(&result.shed_fraction()));
     }
 
     #[test]

@@ -217,29 +217,10 @@ pub fn plan_window_inputs(
 mod tests {
     use super::*;
     use crate::schedule::DiurnalSchedule;
-    use crate::site::{FleetSite, GridRegion};
-    use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
-    use junkyard_grid::trace::IntensityTrace;
-    use junkyard_microsim::app::hotel_reservation;
-    use junkyard_microsim::network::NetworkModel;
-    use junkyard_microsim::node::NodeSpec;
-    use junkyard_microsim::placement::Placement;
-    use junkyard_microsim::sim::Simulation;
-
-    fn tiny_sim() -> Simulation {
-        let app = hotel_reservation();
-        let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
-        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
-        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
-    }
+    use crate::testutil::{flat_region, tiny_sim};
 
     fn site(name: &str, grams: f64, capacity: f64) -> FleetSite {
-        let trace = IntensityTrace::constant(
-            CarbonIntensity::from_grams_per_kwh(grams),
-            TimeSpan::from_hours(1.0),
-            TimeSpan::from_days(1.0),
-        );
-        FleetSite::new(name, &tiny_sim(), GridRegion::new(name, trace), capacity)
+        FleetSite::new(name, &tiny_sim(), flat_region(grams), capacity)
     }
 
     fn one_window(qps: f64) -> LoadWindow {

@@ -580,29 +580,11 @@ impl FleetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::site::GridRegion;
+    use crate::testutil::{flat_region, tiny_sim};
     use junkyard_carbon::units::Watts;
-    use junkyard_grid::trace::IntensityTrace;
-    use junkyard_microsim::app::hotel_reservation;
-    use junkyard_microsim::network::NetworkModel;
-    use junkyard_microsim::node::NodeSpec;
-    use junkyard_microsim::placement::Placement;
-    use junkyard_microsim::sim::Simulation;
-
-    fn tiny_sim() -> Simulation {
-        let app = hotel_reservation();
-        let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
-        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
-        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
-    }
 
     fn site(name: &str, grams: f64, capacity: f64) -> FleetSite {
-        let trace = IntensityTrace::constant(
-            junkyard_carbon::units::CarbonIntensity::from_grams_per_kwh(grams),
-            TimeSpan::from_hours(1.0),
-            TimeSpan::from_days(1.0),
-        );
-        FleetSite::new(name, &tiny_sim(), GridRegion::new(name, trace), capacity)
+        FleetSite::new(name, &tiny_sim(), flat_region(grams), capacity)
             .power(Watts::new(2.0), Watts::new(14.0))
             .embodied(GramsCo2e::from_kilograms(3.0), TimeSpan::from_years(3.0))
     }

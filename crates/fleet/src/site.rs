@@ -254,29 +254,7 @@ impl FleetSite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use junkyard_carbon::units::CarbonIntensity;
-    use junkyard_microsim::app::hotel_reservation;
-    use junkyard_microsim::network::NetworkModel;
-    use junkyard_microsim::node::NodeSpec;
-    use junkyard_microsim::placement::Placement;
-
-    fn tiny_sim() -> Simulation {
-        let app = hotel_reservation();
-        let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
-        let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
-        Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
-    }
-
-    fn flat_region(grams: f64) -> GridRegion {
-        GridRegion::new(
-            "flat",
-            IntensityTrace::constant(
-                CarbonIntensity::from_grams_per_kwh(grams),
-                TimeSpan::from_hours(1.0),
-                TimeSpan::from_days(1.0),
-            ),
-        )
-    }
+    use crate::testutil::{flat_region, tiny_sim};
 
     #[test]
     fn second_life_embodied_charges_the_non_reused_share() {

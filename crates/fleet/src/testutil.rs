@@ -1,0 +1,35 @@
+//! Shared test fixtures for the fleet crate's unit-test modules.
+//!
+//! Every layer of this crate (sites, routing, fleet, lifecycle) exercises
+//! the same minimal serving topology; building it here once keeps the
+//! test modules from drifting apart.
+
+use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
+use junkyard_grid::trace::IntensityTrace;
+use junkyard_microsim::app::hotel_reservation;
+use junkyard_microsim::network::NetworkModel;
+use junkyard_microsim::node::NodeSpec;
+use junkyard_microsim::placement::Placement;
+use junkyard_microsim::sim::Simulation;
+
+use crate::site::GridRegion;
+
+/// A small two-phone simulation, cheap enough to build per test.
+pub fn tiny_sim() -> Simulation {
+    let app = hotel_reservation();
+    let nodes = vec![NodeSpec::pixel_3a(0), NodeSpec::pixel_3a(1)];
+    let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+    Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap()
+}
+
+/// A one-day constant-intensity grid region at `grams` gCO2e/kWh.
+pub fn flat_region(grams: f64) -> GridRegion {
+    GridRegion::new(
+        "flat",
+        IntensityTrace::constant(
+            CarbonIntensity::from_grams_per_kwh(grams),
+            TimeSpan::from_hours(1.0),
+            TimeSpan::from_days(1.0),
+        ),
+    )
+}

@@ -59,6 +59,13 @@ impl LatencyStats {
         self.percentile(90.0)
     }
 
+    /// 99th-percentile latency in ms — the extreme-tail axis the planner's
+    /// Pareto frontier reports alongside carbon per request.
+    #[must_use]
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
     /// Mean latency in ms.
     #[must_use]
     pub fn mean_ms(&self) -> Option<f64> {

@@ -102,18 +102,55 @@ impl LatencyCurve {
         &self.points
     }
 
-    /// The highest offered load whose median and tail latency stay under
-    /// the given bounds — the paper's "max throughput before the latencies
-    /// shoot up".
+    /// The highest offered load the deployment sustains before *first*
+    /// crossing the latency bounds — the paper's "max throughput before
+    /// the latencies shoot up".
+    ///
+    /// Only the longest passing *prefix* of the curve counts: measurement
+    /// noise can dip a point back under the limits beyond the queueing
+    /// knee, and such a point is not a sustainable operating load. If the
+    /// whole curve passes, the last point's load is returned; if the first
+    /// point already fails, `None`. Otherwise the crossing load is
+    /// linearly interpolated between the last passing and the first
+    /// failing point, using whichever latency bound crosses its limit
+    /// first.
     #[must_use]
     pub fn max_sustainable_qps(&self, median_limit_ms: f64, tail_limit_ms: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .filter(|p| p.median_ms() <= median_limit_ms && p.tail_ms() <= tail_limit_ms)
-            .map(|p| p.qps())
-            .fold(None, |best: Option<f64>, q| {
-                Some(best.map_or(q, |b| b.max(q)))
-            })
+        let passes =
+            |p: &CurvePoint| p.median_ms() <= median_limit_ms && p.tail_ms() <= tail_limit_ms;
+        let prefix = self.points.iter().take_while(|p| passes(p)).count();
+        if prefix == 0 {
+            return None;
+        }
+        if prefix == self.points.len() {
+            return Some(self.points[prefix - 1].qps());
+        }
+        let last_pass = self.points[prefix - 1];
+        let first_fail = self.points[prefix];
+        // Fraction of the load step at which each violated bound is hit;
+        // the earliest crossing limits the sustainable load. A bound that
+        // still passes at the failing point contributes no crossing. When
+        // a bound does fail, its latency necessarily rose above the
+        // passing point's (which was at or under the limit), so the
+        // denominator is strictly positive.
+        let crossing = |value_pass: f64, value_fail: f64, limit: f64| -> f64 {
+            if value_fail <= limit {
+                1.0
+            } else {
+                ((limit - value_pass) / (value_fail - value_pass)).clamp(0.0, 1.0)
+            }
+        };
+        let t = crossing(
+            last_pass.median_ms(),
+            first_fail.median_ms(),
+            median_limit_ms,
+        )
+        .min(crossing(
+            last_pass.tail_ms(),
+            first_fail.tail_ms(),
+            tail_limit_ms,
+        ));
+        Some(last_pass.qps() + t * (first_fail.qps() - last_pass.qps()))
     }
 }
 
@@ -402,8 +439,61 @@ mod tests {
                 CurvePoint::new(4_000.0, 400.0, 900.0),
             ],
         );
-        assert_eq!(curve.max_sustainable_qps(50.0, 100.0), Some(3_000.0));
+        // The tail bound crosses first between 3,000 and 4,000 QPS:
+        // t = (100 - 95) / (900 - 95), interpolated onto the load step.
+        let expected = 3_000.0 + (100.0 - 95.0) / (900.0 - 95.0) * 1_000.0;
+        let knee = curve.max_sustainable_qps(50.0, 100.0).unwrap();
+        assert!((knee - expected).abs() < 1e-9, "knee {knee}");
         assert_eq!(curve.max_sustainable_qps(10.0, 10.0), None);
+        // An all-passing curve sustains its last measured load.
+        assert_eq!(curve.max_sustainable_qps(1_000.0, 1_000.0), Some(4_000.0));
+    }
+
+    #[test]
+    fn max_sustainable_qps_ignores_passes_beyond_the_first_crossing() {
+        // A noisy non-monotonic curve: the 3,000-QPS point dips back under
+        // the limits *beyond* the queueing knee. The old max-over-passing
+        // semantics reported 3,000; first-crossing semantics must stop at
+        // the 1,000 → 2,000 step.
+        let curve = LatencyCurve::new(
+            "noisy",
+            vec![
+                CurvePoint::new(1_000.0, 20.0, 40.0),
+                CurvePoint::new(2_000.0, 80.0, 160.0),
+                CurvePoint::new(3_000.0, 30.0, 50.0),
+                CurvePoint::new(4_000.0, 500.0, 900.0),
+            ],
+        );
+        let knee = curve.max_sustainable_qps(50.0, 100.0).unwrap();
+        assert!(knee < 2_000.0, "knee {knee} must sit inside the first step");
+        // Median crosses at t = (50-20)/(80-20) = 0.5, tail at
+        // t = (100-40)/(160-40) = 0.5: the knee is 1,500 QPS.
+        assert!((knee - 1_500.0).abs() < 1e-9, "knee {knee}");
+    }
+
+    #[test]
+    fn max_sustainable_qps_interpolates_only_the_violated_bound() {
+        // The tail *improves* across the failing step while the median
+        // blows through its limit: only the median contributes a crossing.
+        let curve = LatencyCurve::new(
+            "median-limited",
+            vec![
+                CurvePoint::new(1_000.0, 20.0, 90.0),
+                CurvePoint::new(2_000.0, 200.0, 80.0),
+            ],
+        );
+        let knee = curve.max_sustainable_qps(100.0, 100.0).unwrap();
+        let expected = 1_000.0 + (100.0 - 20.0) / (200.0 - 20.0) * 1_000.0;
+        assert!((knee - expected).abs() < 1e-9, "knee {knee}");
+        // A flat all-passing curve is sustainable through its last point.
+        let flat = LatencyCurve::new(
+            "flat",
+            vec![
+                CurvePoint::new(1_000.0, 20.0, 90.0),
+                CurvePoint::new(2_000.0, 20.0, 90.0),
+            ],
+        );
+        assert_eq!(flat.max_sustainable_qps(100.0, 100.0), Some(2_000.0));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Pareto-frontier extraction over the planner's three objectives:
+//! carbon per request, extreme-tail latency and fleet size.
+//!
+//! All three are minimised. A point is kept when no other point is at
+//! least as good on every objective and strictly better on one; exact
+//! duplicates keep their first occurrence only, so the frontier is
+//! deterministic for a deterministically-ordered input.
+
+/// One point's objectives: `[gCO2e/request, p99 ms, device count]`.
+pub type Objectives = [f64; 3];
+
+/// Whether `a` dominates `b`: no worse everywhere, strictly better
+/// somewhere.
+#[must_use]
+fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points of `objectives`, sorted by the
+/// objectives themselves (carbon first, then p99, then devices) with the
+/// original index as the final tie-breaker.
+#[must_use]
+pub fn pareto_indices(objectives: &[Objectives]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = Vec::new();
+    'candidates: for (i, point) in objectives.iter().enumerate() {
+        for (j, other) in objectives.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if dominates(other, point) {
+                continue 'candidates;
+            }
+            // Exact duplicates: keep the earliest occurrence only.
+            if other == point && j < i {
+                continue 'candidates;
+            }
+        }
+        frontier.push(i);
+    }
+    frontier.sort_by(|&a, &b| {
+        objectives[a]
+            .partial_cmp(&objectives[b])
+            .expect("objectives are finite")
+            .then(a.cmp(&b))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let points = vec![
+            [1.0, 50.0, 10.0], // best carbon
+            [2.0, 20.0, 10.0], // best p99
+            [3.0, 60.0, 4.0],  // smallest fleet
+            [2.5, 55.0, 12.0], // dominated by the first point? no: carbon worse, p99 worse, devices worse than [1.0, 50, 10] -> dominated
+            [1.5, 50.0, 10.0], // dominated by the first (carbon worse, rest equal)
+        ];
+        let frontier = pareto_indices(&points);
+        assert_eq!(frontier, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_keep_the_first_occurrence() {
+        let points = vec![[1.0, 10.0, 5.0], [1.0, 10.0, 5.0], [0.5, 20.0, 5.0]];
+        let frontier = pareto_indices(&points);
+        assert_eq!(frontier, vec![2, 0]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let points = vec![[1.0, 30.0, 8.0], [2.0, 20.0, 8.0], [3.0, 10.0, 8.0]];
+        assert_eq!(pareto_indices(&points), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_indices(&[[1.0, 1.0, 1.0]]), vec![0]);
+        assert!(pareto_indices(&[]).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared fixtures for the planner crate's unit tests.
+
+use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
+use junkyard_devices::catalog;
+use junkyard_fleet::site::GridRegion;
+use junkyard_grid::trace::IntensityTrace;
+
+use crate::space::CohortOption;
+
+/// A one-day constant-intensity grid region.
+pub fn flat_region(name: &str, grams: f64) -> GridRegion {
+    GridRegion::new(
+        name,
+        IntensityTrace::constant(
+            CarbonIntensity::from_grams_per_kwh(grams),
+            TimeSpan::from_hours(1.0),
+            TimeSpan::from_days(1.0),
+        ),
+    )
+}
+
+/// A uniform Pixel 3A cohort at 300 requests/second per slot.
+pub fn pixel_option(count: usize) -> CohortOption {
+    CohortOption::uniform(catalog::pixel_3a(), count, 300.0)
+}

@@ -18,6 +18,11 @@
 //! * [`fleet`] — the carbon-aware cloudlet fleet layer: diurnal load
 //!   schedules, grid-region mapping, static versus carbon-aware routing
 //!   and fleet-wide gCO2e-per-request accounting.
+//! * [`planner`] — the SLO-constrained provisioning optimizer: a
+//!   deterministic successive-halving + local search over candidate
+//!   deployments, driving the fleet/lifecycle stack as a black-box
+//!   evaluator and reporting a carbon/latency/fleet-size Pareto
+//!   frontier.
 //! * [`core`] — the high-level studies that regenerate each table and
 //!   figure of the paper.
 //!
@@ -45,6 +50,7 @@ pub use junkyard_devices as devices;
 pub use junkyard_fleet as fleet;
 pub use junkyard_grid as grid;
 pub use junkyard_microsim as microsim;
+pub use junkyard_planner as planner;
 pub use junkyard_thermal as thermal;
 
 /// The crate version of the reproduction library.

@@ -12,6 +12,7 @@ use junkyard::core::single_device::SingleDeviceStudy;
 use junkyard::devices::benchmark::Benchmark;
 use junkyard::grid::synth::CaisoSynthesizer;
 use junkyard::microsim::app::hotel_reservation;
+use junkyard::planner::{Fidelity, Slo};
 use junkyard::thermal::PhoneThermalModel;
 
 #[test]
@@ -46,6 +47,12 @@ fn every_facade_module_resolves() {
 
     let trace = CaisoSynthesizer::new(1, 1).intensity_trace();
     assert!(trace.mean().grams_per_kwh() > 0.0);
+
+    // planner -> fleet/microsim: the SLO and fidelity types resolve and
+    // agree with the evaluator layer's expectations.
+    let slo = Slo::paper_default();
+    assert!(slo.tail_limit_ms() > slo.median_limit_ms());
+    assert!(Fidelity::coarse().horizon_days() < Fidelity::fine().horizon_days());
 }
 
 #[test]
