@@ -46,6 +46,7 @@ pub mod deployments;
 pub mod energy_mix;
 pub mod fleet_study;
 pub mod lifecycle_study;
+pub mod overload_study;
 pub mod planner_study;
 pub mod report;
 pub mod single_device;
@@ -59,6 +60,7 @@ pub use datacenter_study::DatacenterStudy;
 pub use deployments::{build_deployment, DeploymentKind};
 pub use fleet_study::{FleetStudy, FleetStudyResult};
 pub use lifecycle_study::{LifecycleStudy, LifecycleStudyResult};
+pub use overload_study::{OverloadCurve, OverloadStudy, OverloadStudyResult};
 pub use planner_study::{PlannerStudy, PlannerStudyResult};
 pub use report::{Chart, SeriesLine, Table};
 pub use single_device::SingleDeviceStudy;

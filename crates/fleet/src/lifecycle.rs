@@ -637,6 +637,8 @@ pub struct LifecycleCell {
     year: usize,
     site: usize,
     requests: f64,
+    #[serde(default)]
+    dropped_requests: f64,
     operational: GramsCo2e,
     embodied: GramsCo2e,
     battery_replacements: u32,
@@ -662,10 +664,19 @@ impl LifecycleCell {
         self.site
     }
 
-    /// Requests the site served during the year.
+    /// Requests the site served during the year (assigned demand minus
+    /// the slice-measured queue-drop share).
     #[must_use]
     pub fn requests(&self) -> f64 {
         self.requests
+    }
+
+    /// Requests the site accepted but dropped at bounded application
+    /// queues during the year (zero under the default unbounded
+    /// `ServerModel`).
+    #[must_use]
+    pub fn dropped_requests(&self) -> f64 {
+        self.dropped_requests
     }
 
     /// Operational carbon of the year.
@@ -748,7 +759,9 @@ pub struct LifecycleResult {
     /// Year-major: `cells[year * sites + site]`.
     cells: Vec<LifecycleCell>,
     day_ledger: Vec<DayLedger>,
-    shed_requests: f64,
+    declined_requests: f64,
+    #[serde(default)]
+    dropped_requests: f64,
     total_requests: f64,
     total_operational: GramsCo2e,
     total_embodied: GramsCo2e,
@@ -791,10 +804,27 @@ impl LifecycleResult {
         &self.day_ledger
     }
 
-    /// Requests the router could not place anywhere over the horizon.
+    /// Requests the router could not place anywhere over the horizon
+    /// (demand beyond the fleet's aggregate capacity cap).
+    #[must_use]
+    pub fn router_declined_requests(&self) -> f64 {
+        self.declined_requests
+    }
+
+    /// Requests sites accepted but dropped at bounded application queues
+    /// over the horizon (zero under the default unbounded `ServerModel`).
+    #[must_use]
+    pub fn queue_dropped_requests(&self) -> f64 {
+        self.dropped_requests
+    }
+
+    /// Requests lost anywhere: router-declined plus queue-dropped — the
+    /// historical "shed" total. The components are reported separately by
+    /// [`Self::router_declined_requests`] and
+    /// [`Self::queue_dropped_requests`].
     #[must_use]
     pub fn shed_requests(&self) -> f64 {
-        self.shed_requests
+        self.declined_requests + self.dropped_requests
     }
 
     /// Requests served across the fleet and the horizon.
@@ -924,13 +954,15 @@ impl LifecycleResult {
             .fold(0.0, f64::max)
     }
 
-    /// Fraction of the offered demand the router shed (0 when nothing was
-    /// offered) — the planner's shed-ceiling hook.
+    /// Fraction of the offered demand lost anywhere — router-declined or
+    /// queue-dropped — out of everything offered (0 when nothing was
+    /// offered). The planner's shed-ceiling hook; under the default
+    /// unbounded `ServerModel` it reduces to the router-declined fraction.
     #[must_use]
     pub fn shed_fraction(&self) -> f64 {
-        let offered = self.total_requests + self.shed_requests;
+        let offered = self.total_requests + self.shed_requests();
         if offered > 0.0 {
-            self.shed_requests / offered
+            self.shed_requests() / offered
         } else {
             0.0
         }
@@ -959,13 +991,15 @@ impl LifecycleResult {
 }
 
 /// What one memoised microsim slice measured: the utilisation that prices
-/// the window's energy, and the latency percentiles the SLO hooks track.
+/// the window's energy, the latency percentiles the SLO hooks track, and
+/// the fraction of accepted requests dropped at bounded queues.
 #[derive(Debug, Clone, Copy)]
 struct SliceMeasure {
     utilization: f64,
     median_ms: f64,
     tail_ms: f64,
     p99_ms: f64,
+    drop_fraction: f64,
 }
 
 /// The runtime state of one cohort slot during the dynamics pass.
@@ -1304,10 +1338,12 @@ impl LifecycleSim {
             days
         ];
         let mut total_requests = 0.0;
+        let mut dropped_requests = 0.0;
         let mut total_operational = GramsCo2e::ZERO;
         let mut total_embodied = GramsCo2e::ZERO;
         for cell in &cells {
             total_requests += cell.requests;
+            dropped_requests += cell.dropped_requests;
             total_operational += cell.operational;
             total_embodied += cell.embodied;
             for (offset, ledger) in cell.daily.iter().enumerate() {
@@ -1317,9 +1353,9 @@ impl LifecycleSim {
                 merged.embodied += ledger.embodied;
             }
         }
-        let shed_requests = plans
+        let declined_requests = plans
             .iter()
-            .map(|p| p.shed_mean_qps() * windows[0].duration().seconds())
+            .map(|p| p.declined_mean_qps() * windows[0].duration().seconds())
             .sum();
 
         Ok(LifecycleResult {
@@ -1328,7 +1364,8 @@ impl LifecycleSim {
             years: years_spanned,
             cells,
             day_ledger,
-            shed_requests,
+            declined_requests,
+            dropped_requests,
             total_requests,
             total_operational,
             total_embodied,
@@ -1357,6 +1394,7 @@ impl LifecycleSim {
         let mut memo: HashMap<(u64, u64), SliceMeasure> = HashMap::new();
 
         let mut requests = 0.0;
+        let mut dropped_requests = 0.0;
         let mut operational = GramsCo2e::ZERO;
         let mut embodied = GramsCo2e::ZERO;
         let mut battery_replacements = 0;
@@ -1386,7 +1424,7 @@ impl LifecycleSim {
                 let window = &windows[w];
                 let (qps_start, qps_end) = plans[w].shares()[site_idx];
                 let mean_qps = (qps_start + qps_end) / 2.0;
-                let (utilization, median_ms, tail_ms, p99_ms) = if mean_qps > 0.0 {
+                let (utilization, median_ms, tail_ms, p99_ms, drop_fraction) = if mean_qps > 0.0 {
                     let key = (qps_start.to_bits(), qps_end.to_bits());
                     let measured = if let Some(cached) = memo.get(&key) {
                         *cached
@@ -1402,9 +1440,10 @@ impl LifecycleSim {
                         measured.median_ms,
                         measured.tail_ms,
                         measured.p99_ms,
+                        measured.drop_fraction,
                     )
                 } else {
-                    (0.0, 0.0, 0.0, 0.0)
+                    (0.0, 0.0, 0.0, 0.0, 0.0)
                 };
                 worst_median_ms = worst_median_ms.max(median_ms);
                 worst_tail_ms = worst_tail_ms.max(tail_ms);
@@ -1419,7 +1458,11 @@ impl LifecycleSim {
                 let op = intensity.emissions_for(device_energy) * state.operational_scale
                     + intensity.emissions_for(overhead_energy);
                 day_operational += op;
-                day_requests += mean_qps * window.duration().seconds();
+                // The day ledger and cell totals count *served* requests;
+                // the queue-dropped share is accumulated separately.
+                let offered = mean_qps * window.duration().seconds();
+                day_requests += offered * (1.0 - drop_fraction);
+                dropped_requests += offered * drop_fraction;
             }
             requests += day_requests;
             operational += day_operational;
@@ -1435,6 +1478,7 @@ impl LifecycleSim {
             year,
             site: site_idx,
             requests,
+            dropped_requests,
             operational,
             embodied,
             battery_replacements,
@@ -1480,11 +1524,18 @@ impl LifecycleSim {
             .sum::<f64>()
             / nodes.len() as f64
             / 100.0;
+        let dropped = metrics.dropped_between(warm, warm + slice);
+        let measured = stats.count() + dropped;
         Ok(SliceMeasure {
             utilization,
             median_ms: stats.median_ms().unwrap_or(0.0),
             tail_ms: stats.tail_ms().unwrap_or(0.0),
             p99_ms: stats.p99_ms().unwrap_or(0.0),
+            drop_fraction: if measured == 0 {
+                0.0
+            } else {
+                dropped as f64 / measured as f64
+            },
         })
     }
 }

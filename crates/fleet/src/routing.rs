@@ -13,7 +13,27 @@
 //!
 //! Both policies are capacity-safe: no site is ever assigned more than its
 //! declared capacity, and demand beyond the fleet's aggregate cap is
-//! recorded as shed rather than silently overloading a site.
+//! recorded as *declined* rather than silently overloading a site.
+//!
+//! # Shed semantics
+//!
+//! Two distinct mechanisms can lose a request, and the fleet layers report
+//! them separately:
+//!
+//! * **Router declined** — demand the planner could not place anywhere
+//!   because the fleet's aggregate (capped) capacity was exhausted. This
+//!   is decided here, per window, before any simulation runs, and is
+//!   reported by [`WindowAssignment::declined_mean_qps`].
+//! * **Queue dropped** — requests a site *accepted* but then lost at a
+//!   bounded application queue inside the microsim (see
+//!   `junkyard_microsim::ServerModel::with_queue_size`). The router never
+//!   sees these; the fleet and lifecycle simulators measure them per cell
+//!   and surface them as `queue_dropped_requests`.
+//!
+//! Fleet-level *shed* is the sum of the two. The historical
+//! [`WindowAssignment::shed_mean_qps`] accessor is kept as an alias for
+//! the declined component only, because at this layer nothing has been
+//! simulated yet.
 
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +82,7 @@ pub struct WindowAssignment {
     window: usize,
     /// Per-site `(qps_start, qps_end)`, same order as the fleet's sites.
     shares: Vec<(f64, f64)>,
-    shed_mean_qps: f64,
+    declined_mean_qps: f64,
 }
 
 impl WindowAssignment {
@@ -78,11 +98,23 @@ impl WindowAssignment {
         &self.shares
     }
 
-    /// Mean offered load the fleet could not place (demand beyond the
+    /// Mean offered load the *router* could not place (demand beyond the
     /// aggregate capacity cap), requests per second.
+    ///
+    /// This is only the router-declined component of shed — sites may
+    /// additionally drop accepted requests at bounded queues (see the
+    /// module docs on shed semantics).
+    #[must_use]
+    pub fn declined_mean_qps(&self) -> f64 {
+        self.declined_mean_qps
+    }
+
+    /// Alias for [`Self::declined_mean_qps`], kept for callers that
+    /// predate the declined/dropped split. At the routing layer nothing
+    /// has been simulated yet, so "shed" here means router-declined only.
     #[must_use]
     pub fn shed_mean_qps(&self) -> f64 {
-        self.shed_mean_qps
+        self.declined_mean_qps
     }
 
     /// Time-averaged rate assigned to site `site`.
@@ -149,7 +181,7 @@ pub fn plan_window_inputs(
         return WindowAssignment {
             window: window.index(),
             shares: vec![(0.0, 0.0); sites.len()],
-            shed_mean_qps: 0.0,
+            declined_mean_qps: 0.0,
         };
     }
     // `fractions[i]` is the share of the window's demand routed to site i;
@@ -209,7 +241,7 @@ pub fn plan_window_inputs(
             .iter()
             .map(|f| (f * window.qps_start(), f * window.qps_end()))
             .collect(),
-        shed_mean_qps: (1.0 - placed).max(0.0) * window.mean_qps(),
+        declined_mean_qps: (1.0 - placed).max(0.0) * window.mean_qps(),
     }
 }
 
@@ -260,8 +292,13 @@ mod tests {
                 assert!(end <= s.capacity_qps() + 1e-9);
             }
             let placed: f64 = (0..sites.len()).map(|i| plan.site_mean_qps(i)).sum();
-            assert!((placed + plan.shed_mean_qps() - 1_000.0).abs() < 1e-9);
-            assert!((plan.shed_mean_qps() - 500.0).abs() < 1e-9, "{policy:?}");
+            assert!((placed + plan.declined_mean_qps() - 1_000.0).abs() < 1e-9);
+            assert!(
+                (plan.declined_mean_qps() - 500.0).abs() < 1e-9,
+                "{policy:?}"
+            );
+            // The legacy name is an exact alias for the declined component.
+            assert_eq!(plan.shed_mean_qps(), plan.declined_mean_qps());
         }
     }
 

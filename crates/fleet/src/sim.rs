@@ -136,6 +136,8 @@ pub struct FleetCell {
     qps_start: f64,
     qps_end: f64,
     requests: f64,
+    #[serde(default)]
+    dropped_requests: f64,
     utilization: f64,
     median_ms: f64,
     tail_ms: f64,
@@ -170,10 +172,26 @@ impl FleetCell {
         self.qps_end
     }
 
-    /// Requests served by the site over the window (mean rate × window).
+    /// Requests *served* by the site over the window: the assigned demand
+    /// (mean rate × window) minus the slice-measured queue-drop share.
     #[must_use]
     pub fn requests(&self) -> f64 {
         self.requests
+    }
+
+    /// Requests the site accepted but dropped at bounded application
+    /// queues over the window (zero under the default unbounded
+    /// `ServerModel`).
+    #[must_use]
+    pub fn dropped_requests(&self) -> f64 {
+        self.dropped_requests
+    }
+
+    /// Demand the router assigned to the site over the window, served or
+    /// not.
+    #[must_use]
+    pub fn offered_requests(&self) -> f64 {
+        self.requests + self.dropped_requests
     }
 
     /// Mean CPU utilisation (0–1) measured across the site's nodes.
@@ -235,7 +253,9 @@ pub struct FleetResult {
     window_duration: TimeSpan,
     /// Window-major: `cells[window * sites + site]`.
     cells: Vec<FleetCell>,
-    shed_requests: f64,
+    declined_requests: f64,
+    #[serde(default)]
+    dropped_requests: f64,
     total_requests: f64,
     total_operational: GramsCo2e,
     total_embodied: GramsCo2e,
@@ -278,10 +298,29 @@ impl FleetResult {
         &self.cells[window * self.site_names.len() + site]
     }
 
-    /// Requests the router could not place anywhere.
+    /// Requests the router could not place anywhere (demand beyond the
+    /// fleet's aggregate capacity cap).
+    #[must_use]
+    pub fn router_declined_requests(&self) -> f64 {
+        self.declined_requests
+    }
+
+    /// Requests sites accepted but dropped at bounded application queues
+    /// (zero under the default unbounded `ServerModel`).
+    #[must_use]
+    pub fn queue_dropped_requests(&self) -> f64 {
+        self.dropped_requests
+    }
+
+    /// Requests lost anywhere: router-declined plus queue-dropped. The
+    /// two components are reported separately by
+    /// [`Self::router_declined_requests`] and
+    /// [`Self::queue_dropped_requests`]; this sum is the historical
+    /// "shed" total and satisfies
+    /// `offered == total_requests + shed_requests` within float noise.
     #[must_use]
     pub fn shed_requests(&self) -> f64 {
-        self.shed_requests
+        self.declined_requests + self.dropped_requests
     }
 
     /// Requests served across the fleet and the schedule.
@@ -477,17 +516,19 @@ impl FleetSim {
             cells.push(slot.expect("every fleet cell slot is filled by its worker")?);
         }
         let mut total_requests = 0.0;
+        let mut dropped_requests = 0.0;
         let mut total_operational = GramsCo2e::ZERO;
         let mut total_embodied = GramsCo2e::ZERO;
         for cell in &cells {
             total_requests += cell.requests;
+            dropped_requests += cell.dropped_requests;
             total_operational += cell.operational;
             total_embodied += cell.embodied;
         }
         let window_duration = windows[0].duration();
-        let shed_requests = assignments
+        let declined_requests = assignments
             .iter()
-            .map(|a| a.shed_mean_qps() * window_duration.seconds())
+            .map(|a| a.declined_mean_qps() * window_duration.seconds())
             .sum();
         Ok(FleetResult {
             policy: self.policy,
@@ -495,7 +536,8 @@ impl FleetSim {
             windows: windows.len(),
             window_duration,
             cells,
-            shed_requests,
+            declined_requests,
+            dropped_requests,
             total_requests,
             total_operational,
             total_embodied,
@@ -521,7 +563,7 @@ impl FleetSim {
         let mean_qps = (qps_start + qps_end) / 2.0;
         let cell_index = (window_idx * self.sites.len() + site_idx) as u64;
 
-        let (utilization, median_ms, tail_ms) = if mean_qps > 0.0 {
+        let (utilization, median_ms, tail_ms, drop_fraction) = if mean_qps > 0.0 {
             let warm = self.config.warmup_s;
             let slice = self.config.sim_slice_s;
             let request_type = site.request_type_name();
@@ -545,13 +587,23 @@ impl FleetSim {
                 .sum::<f64>()
                 / nodes.len() as f64
                 / 100.0;
+            // The slice's drop share extrapolates to the window the same
+            // way latency and utilisation do.
+            let dropped = metrics.dropped_between(warm, warm + slice);
+            let measured = stats.count() + dropped;
+            let drop_fraction = if measured == 0 {
+                0.0
+            } else {
+                dropped as f64 / measured as f64
+            };
             (
                 utilization,
                 stats.median_ms().unwrap_or(0.0),
                 stats.tail_ms().unwrap_or(0.0),
+                drop_fraction,
             )
         } else {
-            (0.0, 0.0, 0.0)
+            (0.0, 0.0, 0.0, 0.0)
         };
 
         let energy = site.power_at(utilization) * window.duration();
@@ -560,12 +612,14 @@ impl FleetSim {
             .mean_intensity_between(window.start(), window.end());
         let operational = intensity.emissions_for(energy) * site.operational_scale_factor();
         let embodied = site.embodied_over(window.duration());
+        let offered = mean_qps * window.duration().seconds();
         Ok(FleetCell {
             window: window_idx,
             site: site_idx,
             qps_start,
             qps_end,
-            requests: mean_qps * window.duration().seconds(),
+            requests: offered * (1.0 - drop_fraction),
+            dropped_requests: offered * drop_fraction,
             utilization,
             median_ms,
             tail_ms,
@@ -687,6 +741,58 @@ mod tests {
             assert_eq!(cell.utilization(), 0.0);
             assert_eq!(cell.requests(), 0.0);
         }
+    }
+
+    #[test]
+    fn bounded_queues_split_shed_into_declined_and_dropped() {
+        use crate::site::FleetSite;
+        use junkyard_microsim::sim::ServerModel;
+        // Capacity cap far above the two-phone site's real knee: the
+        // router assigns everything and the site drops the excess at its
+        // bounded application queues.
+        let bounded = tiny_sim().with_server_model(ServerModel::new().with_queue_size(Some(2)));
+        let fleet = FleetSim::new(
+            vec![FleetSite::new("hot", &bounded, flat_region(200.0), 5_000.0)
+                .power(Watts::new(2.0), Watts::new(14.0))],
+            DiurnalSchedule::flat(4_000.0),
+            RoutingPolicy::Static,
+            quick_config(),
+        );
+        let result = fleet.run().unwrap();
+        assert_eq!(result.router_declined_requests(), 0.0);
+        assert!(result.queue_dropped_requests() > 0.0);
+        assert!(
+            (result.shed_requests()
+                - result.router_declined_requests()
+                - result.queue_dropped_requests())
+            .abs()
+                < 1e-9 * result.shed_requests().max(1.0)
+        );
+        for cell in result.cells() {
+            // Relative tolerance: these totals are ~1e8, where one ulp is
+            // already ~1.5e-8.
+            assert!(
+                (cell.offered_requests() - cell.requests() - cell.dropped_requests()).abs()
+                    < 1e-9 * cell.offered_requests().max(1.0)
+            );
+        }
+        // The default unbounded model never queue-drops.
+        let unbounded = FleetSim::new(
+            vec![
+                FleetSite::new("hot", &tiny_sim(), flat_region(200.0), 5_000.0)
+                    .power(Watts::new(2.0), Watts::new(14.0)),
+            ],
+            DiurnalSchedule::flat(4_000.0),
+            RoutingPolicy::Static,
+            quick_config(),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(unbounded.queue_dropped_requests(), 0.0);
+        assert_eq!(
+            unbounded.shed_requests(),
+            unbounded.router_declined_requests()
+        );
     }
 
     #[test]

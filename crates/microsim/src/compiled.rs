@@ -40,14 +40,15 @@
 //! suite in the workspace's `tests/microsim_equivalence.rs`.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{CompletedRequest, NodeUtilization, RunMetrics};
+use crate::metrics::{CompletedRequest, NodeQueueStats, NodeUtilization, RunMetrics};
 use crate::sim::{
-    Phase, SimError, Simulation, Workload, CLIENT_REQUEST_BYTES, RPC_SYS_OVERHEAD_MS,
+    flow_hash, Phase, QueueDiscipline, RssTable, SimError, Simulation, Workload,
+    CLIENT_REQUEST_BYTES, RPC_SYS_OVERHEAD_MS,
 };
 
 /// A min-heap of resource free times: one entry per core (or client
@@ -122,6 +123,22 @@ impl CoreHeap {
         self.free_at.push(Slot(at.to_bits()));
     }
 
+    /// The earliest free time in the pool, without claiming the slot —
+    /// used by the bounded-queue admission check, which must know a call's
+    /// start time before deciding whether to reserve anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every slot is claimed.
+    #[must_use]
+    pub fn next_free(&self) -> f64 {
+        let slot = self
+            .free_at
+            .peek()
+            .expect("peek requires at least one unclaimed slot");
+        f64::from_bits(slot.0)
+    }
+
     /// Number of currently unclaimed slots.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -168,6 +185,15 @@ struct CompiledType {
 pub struct CompiledSim {
     node_names: Vec<String>,
     node_cores: Vec<u32>,
+    /// Network cores per node (zero under the combined layout).
+    net_cores: Vec<u32>,
+    /// Application cores per node (all cores under the combined layout).
+    app_cores: Vec<u32>,
+    /// One RSS indirection table per node (a single-queue table under
+    /// centralised FCFS).
+    rss: Vec<RssTable>,
+    dfcfs: bool,
+    queue_size: Option<usize>,
     types: Vec<CompiledType>,
     type_names: Vec<String>,
     weights: Vec<f64>,
@@ -259,8 +285,19 @@ enum CStep {
     Arrive,
     Dispatch { stage: u32 },
     CallArrived { stage: u32, call: u32 },
+    CallNetDone { stage: u32, call: u32 },
     CallFinished { stage: u32, call: u32 },
     Complete,
+}
+
+/// A node's application cores, shaped by the queue discipline: one shared
+/// pool under centralised FCFS (a [`CoreHeap`] multiset of free times), or
+/// per-core free times under distributed FCFS, where core identity matters
+/// because the RSS table pins each flow to one core.
+#[derive(Debug, Clone)]
+enum AppPool {
+    Central(CoreHeap),
+    Distributed(Vec<f64>),
 }
 
 /// Arrivals sort before derived events at equal times, mirroring the
@@ -318,6 +355,12 @@ struct ReqState {
     type_idx: u32,
     outstanding_calls: u32,
     stage_end: f64,
+    /// SplitMix64 hash of the request's global arrival index, fed to the
+    /// RSS indirection table (same value as the reference engine's).
+    flow: u64,
+    /// Set when any call of the request was dropped by a bounded queue:
+    /// the request terminates once its in-flight calls drain.
+    dropped: bool,
 }
 
 /// Sends `tx` seconds of traffic through the shared channel at `now` and
@@ -386,9 +429,26 @@ impl CompiledSim {
         let weights: Vec<f64> = app.request_types().iter().map(|r| r.weight()).collect();
         let total_weight: f64 = weights.iter().sum();
 
+        let model = sim.server_model();
+        let dfcfs = model.discipline() == QueueDiscipline::DistributedFcfs;
+        let mut net_cores = Vec::with_capacity(nodes.len());
+        let mut app_cores = Vec::with_capacity(nodes.len());
+        let mut rss = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let (net, app_pool) = model.layout().split(node.cores());
+            net_cores.push(u32::try_from(net).expect("core count fits u32"));
+            app_cores.push(u32::try_from(app_pool).expect("core count fits u32"));
+            rss.push(RssTable::new(if dfcfs { app_pool } else { 1 }));
+        }
+
         Self {
             node_names: nodes.iter().map(|n| n.name().to_owned()).collect(),
             node_cores: nodes.iter().map(crate::node::NodeSpec::cores).collect(),
+            net_cores,
+            app_cores,
+            rss,
+            dfcfs,
+            queue_size: model.queue_size(),
             types,
             type_names,
             weights,
@@ -455,11 +515,34 @@ impl CompiledSim {
         // wrapped into `NodeUtilization` traces after the run.
         let mut util_user: Vec<f64> = vec![0.0; self.node_cores.len() * buckets];
         let mut util_sys: Vec<f64> = vec![0.0; self.node_cores.len() * buckets];
-        let mut cores: Vec<CoreHeap> = self
-            .node_cores
+        let mut net_pools: Vec<Option<CoreHeap>> = self
+            .net_cores
             .iter()
-            .map(|&c| CoreHeap::new(c as usize, 0.0))
+            .map(|&c| (c > 0).then(|| CoreHeap::new(c as usize, 0.0)))
             .collect();
+        let mut app_pools: Vec<AppPool> = self
+            .app_cores
+            .iter()
+            .map(|&c| {
+                if self.dfcfs {
+                    AppPool::Distributed(vec![0.0; c as usize])
+                } else {
+                    AppPool::Central(CoreHeap::new(c as usize, 0.0))
+                }
+            })
+            .collect();
+        // Per-queue start times of admitted-but-waiting calls (pushed in
+        // nondecreasing order, pruned from the front), mirroring the
+        // reference engine's occupancy accounting exactly.
+        let mut waiting: Vec<Vec<VecDeque<f64>>> = self
+            .app_cores
+            .iter()
+            .map(|&app| vec![VecDeque::new(); if self.dfcfs { app as usize } else { 1 }])
+            .collect();
+        let mut queue_drops: Vec<Vec<u64>> = waiting.iter().map(|q| vec![0_u64; q.len()]).collect();
+        let mut calls_arrived: Vec<u64> = vec![0; self.node_cores.len()];
+        let mut calls_served: Vec<u64> = vec![0; self.node_cores.len()];
+        let mut dropped_arrivals: Vec<f64> = Vec::new();
         let mut client = CoreHeap::new(self.client_workers as usize, 0.0);
         let mut link_avail = 0.0_f64;
 
@@ -498,6 +581,11 @@ impl CompiledSim {
                 type_idx: u32::try_from(type_idx).expect("request-type count fits u32"),
                 outstanding_calls: 0,
                 stage_end: t,
+                // `*offered` is the request's global arrival index: admit
+                // runs once per arrival, in arrival order, exactly like
+                // the reference engine's schedule indices.
+                flow: flow_hash(*offered as u64),
+                dropped: false,
             };
             let slot = match free_slots.pop() {
                 Some(slot) => {
@@ -591,9 +679,65 @@ impl CompiledSim {
                 CStep::CallArrived { stage, call } => {
                     let spec = &ty.calls[call as usize];
                     let node = spec.node as usize;
-                    let start = cores[node].begin(now);
+                    calls_arrived[node] += 1;
+                    if let Some(pool) = &mut net_pools[node] {
+                        // Dedicated layout: network processing first, on
+                        // the earliest-free network core (unbounded — the
+                        // application queue downstream is what the bound
+                        // protects).
+                        let start = pool.begin(now);
+                        pool.finish_at(start + spec.sys_secs);
+                        let second = (start.max(0.0).floor() as usize).min(buckets - 1);
+                        util_sys[node * buckets + second] += spec.sys_secs;
+                        push(
+                            start + spec.sys_secs,
+                            CStep::CallNetDone { stage, call },
+                            &mut seq,
+                        );
+                        continue;
+                    }
+                    // Combined layout: admission against the discipline's
+                    // application queue, then one reservation covering
+                    // system and application work.
+                    let queue = if self.dfcfs {
+                        self.rss[node].queue_of(states[request].flow)
+                    } else {
+                        0
+                    };
+                    let avail = match &app_pools[node] {
+                        AppPool::Central(heap) => heap.next_free(),
+                        AppPool::Distributed(avail) => avail[queue],
+                    };
+                    let start = now.max(avail);
+                    if let Some(cap) = self.queue_size {
+                        if start > now {
+                            let q = &mut waiting[node][queue];
+                            while q.front().is_some_and(|&s| s <= now) {
+                                q.pop_front();
+                            }
+                            if q.len() >= cap {
+                                queue_drops[node][queue] += 1;
+                                let state = &mut states[request];
+                                state.dropped = true;
+                                state.outstanding_calls -= 1;
+                                if state.outstanding_calls == 0 {
+                                    dropped_arrivals.push(state.arrival);
+                                    free_slots.push(event.request);
+                                }
+                                continue;
+                            }
+                            q.push_back(start);
+                        }
+                    }
                     let finish = start + spec.user_secs + spec.sys_secs;
-                    cores[node].finish_at(finish);
+                    match &mut app_pools[node] {
+                        AppPool::Central(heap) => {
+                            let begun = heap.begin(now);
+                            debug_assert_eq!(begun.to_bits(), start.to_bits());
+                            heap.finish_at(finish);
+                        }
+                        AppPool::Distributed(avail) => avail[queue] = finish,
+                    }
                     // The reference's `NodeUtilization::bucket` clamp, on
                     // the flat accumulators.
                     let second = (start.max(0.0).floor() as usize).min(buckets - 1);
@@ -602,8 +746,62 @@ impl CompiledSim {
                     util_sys[slot] += spec.sys_secs;
                     push(finish, CStep::CallFinished { stage, call }, &mut seq);
                 }
+                CStep::CallNetDone { stage, call } => {
+                    // Network processing done: queue for an application
+                    // core. This is where the dedicated layout's bound
+                    // applies — a drop here has already burnt network-core
+                    // time on the doomed call.
+                    let spec = &ty.calls[call as usize];
+                    let node = spec.node as usize;
+                    let queue = if self.dfcfs {
+                        self.rss[node].queue_of(states[request].flow)
+                    } else {
+                        0
+                    };
+                    let avail = match &app_pools[node] {
+                        AppPool::Central(heap) => heap.next_free(),
+                        AppPool::Distributed(avail) => avail[queue],
+                    };
+                    let start = now.max(avail);
+                    if let Some(cap) = self.queue_size {
+                        if start > now {
+                            let q = &mut waiting[node][queue];
+                            while q.front().is_some_and(|&s| s <= now) {
+                                q.pop_front();
+                            }
+                            if q.len() >= cap {
+                                queue_drops[node][queue] += 1;
+                                let state = &mut states[request];
+                                state.dropped = true;
+                                state.outstanding_calls -= 1;
+                                if state.outstanding_calls == 0 {
+                                    dropped_arrivals.push(state.arrival);
+                                    free_slots.push(event.request);
+                                }
+                                continue;
+                            }
+                            q.push_back(start);
+                        }
+                    }
+                    match &mut app_pools[node] {
+                        AppPool::Central(heap) => {
+                            let begun = heap.begin(now);
+                            debug_assert_eq!(begun.to_bits(), start.to_bits());
+                            heap.finish_at(start + spec.user_secs);
+                        }
+                        AppPool::Distributed(avail) => avail[queue] = start + spec.user_secs,
+                    }
+                    let second = (start.max(0.0).floor() as usize).min(buckets - 1);
+                    util_user[node * buckets + second] += spec.user_secs;
+                    push(
+                        start + spec.user_secs,
+                        CStep::CallFinished { stage, call },
+                        &mut seq,
+                    );
+                }
                 CStep::CallFinished { stage, call } => {
                     let spec = &ty.calls[call as usize];
+                    calls_served[spec.node as usize] += 1;
                     let replied = if spec.same_node {
                         now + self.intra_secs
                     } else {
@@ -615,13 +813,20 @@ impl CompiledSim {
                     }
                     state.outstanding_calls -= 1;
                     if state.outstanding_calls == 0 {
-                        let next_time = state.stage_end;
-                        let next_step = if (stage as usize) + 1 < ty.stage_ranges.len() {
-                            CStep::Dispatch { stage: stage + 1 }
+                        if state.dropped {
+                            // A sibling call was dropped: terminate the
+                            // request once its in-flight calls drain.
+                            dropped_arrivals.push(state.arrival);
+                            free_slots.push(event.request);
                         } else {
-                            CStep::Complete
-                        };
-                        push(next_time, next_step, &mut seq);
+                            let next_time = state.stage_end;
+                            let next_step = if (stage as usize) + 1 < ty.stage_ranges.len() {
+                                CStep::Dispatch { stage: stage + 1 }
+                            } else {
+                                CStep::Complete
+                            };
+                            push(next_time, next_step, &mut seq);
+                        }
                     }
                 }
                 CStep::Complete => {
@@ -657,9 +862,23 @@ impl CompiledSim {
             })
             .collect();
 
+        let queue_stats: Vec<NodeQueueStats> = self
+            .node_names
+            .iter()
+            .enumerate()
+            .map(|(node, name)| {
+                NodeQueueStats::new(
+                    name.as_str(),
+                    calls_arrived[node],
+                    calls_served[node],
+                    queue_drops[node].clone(),
+                )
+            })
+            .collect();
         Ok(
             RunMetrics::new(total_duration, offered, completions, utilization)
-                .with_events(processed),
+                .with_events(processed)
+                .with_queue_stats(dropped_arrivals, queue_stats),
         )
     }
 }

@@ -52,10 +52,12 @@ pub mod sweep;
 
 pub use app::{Application, RequestType, ServiceCall, Stage};
 pub use compiled::{CompiledSim, CoreHeap, LazyArrivals};
-pub use metrics::{LatencyStats, NodeUtilization, RunMetrics};
+pub use metrics::{LatencyStats, NodeQueueStats, NodeUtilization, RunMetrics};
 pub use network::NetworkModel;
 pub use node::NodeSpec;
 pub use placement::{Placement, PlacementError};
 pub use service::{ServiceKind, ServiceSpec};
-pub use sim::{Phase, SimError, Simulation, Workload};
+pub use sim::{
+    CoreLayout, Phase, QueueDiscipline, RssTable, ServerModel, SimError, Simulation, Workload,
+};
 pub use sweep::{CurvePoint, LatencyCurve, SweepConfig};

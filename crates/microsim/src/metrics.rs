@@ -195,6 +195,71 @@ impl NodeUtilization {
     }
 }
 
+/// Per-node queue accounting: how many calls arrived at the node, how many
+/// finished application service, and how many each of its queues dropped.
+///
+/// Both engines maintain these counters unconditionally (they are cheap),
+/// so the per-node conservation law `calls_arrived == calls_served +
+/// dropped` holds for every run; drops can only be nonzero when the
+/// simulation's [`crate::sim::ServerModel`] bounds its queues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeQueueStats {
+    node: String,
+    calls_arrived: u64,
+    calls_served: u64,
+    queue_drops: Vec<u64>,
+}
+
+impl NodeQueueStats {
+    /// Assembles one node's queue counters. `queue_drops` has one entry per
+    /// queue of the node (a single entry under centralised FCFS, one per
+    /// application core under distributed FCFS).
+    #[must_use]
+    pub fn new(
+        node: impl Into<String>,
+        calls_arrived: u64,
+        calls_served: u64,
+        queue_drops: Vec<u64>,
+    ) -> Self {
+        Self {
+            node: node.into(),
+            calls_arrived,
+            calls_served,
+            queue_drops,
+        }
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Calls that reached the node (admitted or dropped).
+    #[must_use]
+    pub fn calls_arrived(&self) -> u64 {
+        self.calls_arrived
+    }
+
+    /// Calls whose application service completed on the node.
+    #[must_use]
+    pub fn calls_served(&self) -> u64 {
+        self.calls_served
+    }
+
+    /// Drops per queue, indexed by queue id.
+    #[must_use]
+    pub fn queue_drops(&self) -> &[u64] {
+        &self.queue_drops
+    }
+
+    /// Total calls dropped by the node's queues.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.queue_drops.iter().sum()
+    }
+}
+
 /// A completed request: when it arrived and how long it took.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CompletedRequest {
@@ -233,6 +298,10 @@ pub struct RunMetrics {
     events: u64,
     completions: Vec<CompletedRequest>,
     node_utilization: Vec<NodeUtilization>,
+    #[serde(default)]
+    dropped_arrivals: Vec<f64>,
+    #[serde(default)]
+    queue_stats: Vec<NodeQueueStats>,
 }
 
 impl RunMetrics {
@@ -251,6 +320,8 @@ impl RunMetrics {
             events: 0,
             completions,
             node_utilization,
+            dropped_arrivals: Vec::new(),
+            queue_stats: Vec::new(),
         }
     }
 
@@ -260,6 +331,20 @@ impl RunMetrics {
     #[must_use]
     pub fn with_events(mut self, events: u64) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Attaches queue accounting: the arrival times of requests that were
+    /// terminated by a queue drop (in termination order) and the per-node
+    /// counters. Both engines attach these for every run.
+    #[must_use]
+    pub fn with_queue_stats(
+        mut self,
+        dropped_arrivals: Vec<f64>,
+        queue_stats: Vec<NodeQueueStats>,
+    ) -> Self {
+        self.dropped_arrivals = dropped_arrivals;
+        self.queue_stats = queue_stats;
         self
     }
 
@@ -291,6 +376,45 @@ impl RunMetrics {
     #[must_use]
     pub fn node_utilization(&self) -> &[NodeUtilization] {
         &self.node_utilization
+    }
+
+    /// Number of requests terminated by a queue drop.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped_arrivals.len()
+    }
+
+    /// Arrival times of dropped requests, in termination order.
+    #[must_use]
+    pub fn dropped_arrivals(&self) -> &[f64] {
+        &self.dropped_arrivals
+    }
+
+    /// Number of dropped requests that *arrived* in `[from, to)` seconds —
+    /// the companion of [`RunMetrics::latency_stats_between`] for slicing
+    /// out warm-up.
+    #[must_use]
+    pub fn dropped_between(&self, from_s: f64, to_s: f64) -> usize {
+        self.dropped_arrivals
+            .iter()
+            .filter(|&&a| a >= from_s && a < to_s)
+            .count()
+    }
+
+    /// Fraction of offered requests terminated by a queue drop.
+    #[must_use]
+    pub fn drop_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped_arrivals.len() as f64 / self.offered as f64
+        }
+    }
+
+    /// Per-node queue counters (arrived / served / dropped per queue).
+    #[must_use]
+    pub fn queue_stats(&self) -> &[NodeQueueStats] {
+        &self.queue_stats
     }
 
     /// Latency distribution of every completed request.
@@ -388,5 +512,25 @@ mod tests {
         let sliced = metrics.latency_stats_between(1.0, 3.0);
         assert_eq!(sliced.count(), 2);
         assert!((sliced.median_ms().unwrap() - 25.0).abs() < 1e-9);
+        assert_eq!(metrics.dropped(), 0);
+        assert_eq!(metrics.drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn queue_stats_account_drops() {
+        let stats = NodeQueueStats::new("pixel-00", 10, 7, vec![1, 0, 2]);
+        assert_eq!(stats.node(), "pixel-00");
+        assert_eq!(stats.dropped(), 3);
+        assert_eq!(
+            stats.calls_arrived(),
+            stats.calls_served() + stats.dropped()
+        );
+        let metrics = RunMetrics::new(3.0, 8, vec![], vec![])
+            .with_queue_stats(vec![0.4, 1.6], vec![stats.clone()]);
+        assert_eq!(metrics.dropped(), 2);
+        assert_eq!(metrics.dropped_between(0.0, 1.0), 1);
+        assert_eq!(metrics.dropped_between(1.0, 3.0), 1);
+        assert!((metrics.drop_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(metrics.queue_stats(), &[stats]);
     }
 }

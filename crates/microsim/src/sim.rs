@@ -27,7 +27,7 @@
 //! given seed.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -36,7 +36,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::app::Application;
 use crate::compiled::CompiledSim;
-use crate::metrics::{CompletedRequest, NodeUtilization, RunMetrics};
+use crate::metrics::{CompletedRequest, NodeQueueStats, NodeUtilization, RunMetrics};
 use crate::network::NetworkModel;
 use crate::node::NodeSpec;
 use crate::placement::Placement;
@@ -47,6 +47,174 @@ pub(crate) const RPC_SYS_OVERHEAD_MS: f64 = 0.05;
 /// Size of a client's request message to the frontend, bytes (shared by
 /// both engines so their channel reservations stay bit-identical).
 pub(crate) const CLIENT_REQUEST_BYTES: f64 = 500.0;
+
+/// Number of entries in the RSS-style indirection table that spreads flow
+/// hashes over a node's core-local queues under
+/// [`QueueDiscipline::DistributedFcfs`].
+pub const RSS_TABLE_ENTRIES: usize = 128;
+
+/// How arriving calls queue for a node's application cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// One work-conserving FIFO queue per node: an arriving call is served
+    /// by whichever core frees first. This is the engine's historical
+    /// (implicit) discipline.
+    #[default]
+    CentralizedFcfs,
+    /// Per-core FIFO queues fed by an RSS-style indirection table: each
+    /// request's flow hash selects a queue pinned to one application core,
+    /// so a slow call head-of-line-blocks its queue while other cores may
+    /// sit idle — the classic dFCFS trade against work conservation.
+    DistributedFcfs,
+}
+
+/// How a node's cores are divided between network processing and
+/// application work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CoreLayout {
+    /// Every core handles both the per-RPC system overhead and the
+    /// application work in one combined reservation (the historical
+    /// behaviour).
+    #[default]
+    Combined,
+    /// `network_cores` cores are dedicated to per-RPC system processing;
+    /// the rest run application work only. A call is first served by a
+    /// network core (system time), then queues for an application core
+    /// (user time). At least one application core is always kept: the
+    /// network pool is capped at `cores - 1`, and a cap of zero degrades
+    /// to [`CoreLayout::Combined`] semantics on that node.
+    Dedicated {
+        /// Cores reserved for network processing, per node.
+        network_cores: u32,
+    },
+}
+
+impl CoreLayout {
+    /// Splits a node's `cores` into `(network, application)` pools.
+    #[must_use]
+    pub(crate) fn split(self, cores: u32) -> (usize, usize) {
+        match self {
+            CoreLayout::Combined => (0, cores as usize),
+            CoreLayout::Dedicated { network_cores } => {
+                let net = (network_cores as usize).min(cores as usize - 1);
+                (net, cores as usize - net)
+            }
+        }
+    }
+}
+
+/// The server model of a simulation: queue discipline, core layout and the
+/// per-queue bound. The default — centralised FCFS, combined cores,
+/// unbounded queues — reproduces the engine's historical behaviour
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerModel {
+    #[serde(default)]
+    discipline: QueueDiscipline,
+    #[serde(default)]
+    layout: CoreLayout,
+    #[serde(default)]
+    queue_size: Option<usize>,
+}
+
+impl ServerModel {
+    /// The default model: centralised FCFS, combined cores, unbounded.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the queue discipline.
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Sets the core layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: CoreLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Bounds every queue at `size` waiting calls; a call arriving at a
+    /// full queue is dropped (and with it, its whole request). `None`
+    /// restores the historical unbounded queues. A size of zero refuses
+    /// any call that cannot start service immediately.
+    #[must_use]
+    pub fn with_queue_size(mut self, size: Option<usize>) -> Self {
+        self.queue_size = size;
+        self
+    }
+
+    /// The queue discipline.
+    #[must_use]
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// The core layout.
+    #[must_use]
+    pub fn layout(&self) -> CoreLayout {
+        self.layout
+    }
+
+    /// The per-queue bound, if any.
+    #[must_use]
+    pub fn queue_size(&self) -> Option<usize> {
+        self.queue_size
+    }
+}
+
+/// An RSS-style indirection table: `RSS_TABLE_ENTRIES` entries mapping a
+/// flow hash to one of a node's core-local queues, filled round-robin
+/// (`entries[i] = i mod queues`) like a NIC's default RETA programming.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RssTable {
+    entries: Vec<u32>,
+}
+
+impl RssTable {
+    /// Builds the table for a node with `queues` core-local queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    #[must_use]
+    pub fn new(queues: usize) -> Self {
+        assert!(queues > 0, "a node needs at least one queue");
+        Self {
+            entries: (0..RSS_TABLE_ENTRIES)
+                .map(|i| u32::try_from(i % queues).expect("queue index fits u32"))
+                .collect(),
+        }
+    }
+
+    /// The queue a flow hash is steered to.
+    #[must_use]
+    pub fn queue_of(&self, flow_hash: u64) -> usize {
+        self.entries[(flow_hash % self.entries.len() as u64) as usize] as usize
+    }
+
+    /// The raw indirection entries.
+    #[must_use]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+/// Hashes a request's flow identifier (its global arrival index) with the
+/// SplitMix64 finaliser, the value both engines feed to [`RssTable`]. The
+/// mixing step stands in for the Toeplitz hash of a real NIC: consecutive
+/// arrivals land on decorrelated queues.
+#[must_use]
+pub fn flow_hash(flow: u64) -> u64 {
+    let mut z = flow.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One phase of offered load: constant-rate by default, or a linear ramp
 /// between two rates ([`Phase::ramp`]) for diurnal and other time-varying
@@ -241,6 +409,8 @@ pub struct Simulation {
     placement: Placement,
     network: NetworkModel,
     colocated_client: bool,
+    #[serde(default)]
+    server: ServerModel,
 }
 
 impl Simulation {
@@ -268,6 +438,7 @@ impl Simulation {
             placement,
             network,
             colocated_client: false,
+            server: ServerModel::default(),
         })
     }
 
@@ -276,6 +447,14 @@ impl Simulation {
     #[must_use]
     pub fn with_colocated_client(mut self, colocated: bool) -> Self {
         self.colocated_client = colocated;
+        self
+    }
+
+    /// Sets the server model (queue discipline, core layout, queue bound).
+    /// The default model reproduces the historical engine bit-identically.
+    #[must_use]
+    pub fn with_server_model(mut self, server: ServerModel) -> Self {
+        self.server = server;
         self
     }
 
@@ -307,6 +486,12 @@ impl Simulation {
     #[must_use]
     pub fn colocated_client(&self) -> bool {
         self.colocated_client
+    }
+
+    /// The server model (queue discipline, core layout, queue bound).
+    #[must_use]
+    pub fn server_model(&self) -> ServerModel {
+        self.server
     }
 
     /// Lowers the simulation into the index-resolved [`CompiledSim`] form.
@@ -405,12 +590,35 @@ impl Simulation {
         }
         let total_duration = workload.total_duration_s();
 
-        // Resource state.
-        let mut core_avail: Vec<Vec<f64>> = self
+        // Resource state, shaped by the server model: each node's cores are
+        // split into a (possibly empty) network pool and an application
+        // pool, and the discipline decides how many queues front the
+        // application pool (one shared queue under cFCFS, one per core
+        // under dFCFS, selected by the RSS indirection table).
+        let dfcfs = self.server.discipline() == QueueDiscipline::DistributedFcfs;
+        let queue_size = self.server.queue_size();
+        let layouts: Vec<(usize, usize)> = self
             .nodes
             .iter()
-            .map(|n| vec![0.0; n.cores() as usize])
+            .map(|n| self.server.layout().split(n.cores()))
             .collect();
+        let mut net_avail: Vec<Vec<f64>> = layouts.iter().map(|&(net, _)| vec![0.0; net]).collect();
+        let mut app_avail: Vec<Vec<f64>> = layouts.iter().map(|&(_, app)| vec![0.0; app]).collect();
+        let n_queues: Vec<usize> = layouts
+            .iter()
+            .map(|&(_, app)| if dfcfs { app } else { 1 })
+            .collect();
+        let rss: Vec<RssTable> = n_queues.iter().map(|&q| RssTable::new(q)).collect();
+        // Start times of admitted-but-waiting calls, per queue. Starts are
+        // pushed in nondecreasing order (pool free times and event times
+        // are both monotone), so entries <= now can be pruned from the
+        // front; what remains is the queue's current occupancy.
+        let mut waiting: Vec<Vec<VecDeque<f64>>> =
+            n_queues.iter().map(|&q| vec![VecDeque::new(); q]).collect();
+        let mut queue_drops: Vec<Vec<u64>> = n_queues.iter().map(|&q| vec![0_u64; q]).collect();
+        let mut calls_arrived: Vec<u64> = vec![0; self.nodes.len()];
+        let mut calls_served: Vec<u64> = vec![0; self.nodes.len()];
+        let mut dropped_arrivals: Vec<f64> = Vec::new();
         let buckets = total_duration.ceil() as usize + 2;
         let mut utilization: Vec<NodeUtilization> = self
             .nodes
@@ -436,6 +644,9 @@ impl Simulation {
             Dispatch { stage: usize },
             /// A call's request message has reached its service's node.
             CallArrived { stage: usize, call: usize },
+            /// A call's network-stack processing on a dedicated network
+            /// core has finished; queue for an application core.
+            CallNetDone { stage: usize, call: usize },
             /// A call's CPU work has finished; send the reply.
             CallFinished { stage: usize, call: usize },
             /// All stages are done; return the response to the client.
@@ -471,6 +682,8 @@ impl Simulation {
             type_idx: usize,
             outstanding_calls: usize,
             stage_end: f64,
+            flow: u64,
+            dropped: bool,
         }
 
         let mut events: BinaryHeap<Event> = BinaryHeap::with_capacity(arrivals.len() * 4);
@@ -482,6 +695,8 @@ impl Simulation {
                 type_idx: *type_idx,
                 outstanding_calls: 0,
                 stage_end: *t,
+                flow: flow_hash(requests.len() as u64),
+                dropped: false,
             });
             events.push(Event {
                 time: *t,
@@ -585,19 +800,144 @@ impl Simulation {
                     let node = &self.nodes[target];
                     let user_secs = node.service_secs(call_spec.cpu_ms());
                     let sys_secs = node.service_secs(RPC_SYS_OVERHEAD_MS);
-                    let cores = &mut core_avail[target];
-                    let (best, _) = cores
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1.total_cmp(b.1))
-                        .expect("node has at least one core");
-                    let start = now.max(cores[best]);
+                    let (net, _) = layouts[target];
+                    calls_arrived[target] += 1;
+                    if net > 0 {
+                        // Dedicated layout: network processing first, on
+                        // the earliest-free network core (unbounded — the
+                        // application queue downstream is what the bound
+                        // protects).
+                        let (best, _) = net_avail[target]
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("dedicated layout has a network core");
+                        let start = now.max(net_avail[target][best]);
+                        net_avail[target][best] = start + sys_secs;
+                        utilization[target].add_sys(start, sys_secs);
+                        push(
+                            start + sys_secs,
+                            event.request,
+                            Step::CallNetDone { stage, call },
+                            &mut seq,
+                        );
+                        continue;
+                    }
+                    // Combined layout: admission against the discipline's
+                    // application queue, then one reservation covering
+                    // system and application work.
+                    let queue = if dfcfs {
+                        rss[target].queue_of(requests[event.request].flow)
+                    } else {
+                        0
+                    };
+                    let avail = if dfcfs {
+                        app_avail[target][queue]
+                    } else {
+                        app_avail[target]
+                            .iter()
+                            .copied()
+                            .fold(f64::INFINITY, f64::min)
+                    };
+                    let start = now.max(avail);
+                    if let Some(cap) = queue_size {
+                        if start > now {
+                            // The call has to wait: count the queue's
+                            // current occupancy and drop at the bound.
+                            let q = &mut waiting[target][queue];
+                            while q.front().is_some_and(|&s| s <= now) {
+                                q.pop_front();
+                            }
+                            if q.len() >= cap {
+                                queue_drops[target][queue] += 1;
+                                let state = &mut requests[event.request];
+                                state.dropped = true;
+                                state.outstanding_calls -= 1;
+                                if state.outstanding_calls == 0 {
+                                    dropped_arrivals.push(state.arrival);
+                                }
+                                continue;
+                            }
+                            q.push_back(start);
+                        }
+                    }
                     let finish = start + user_secs + sys_secs;
-                    cores[best] = finish;
+                    if dfcfs {
+                        app_avail[target][queue] = finish;
+                    } else {
+                        let (best, _) = app_avail[target]
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("node has at least one core");
+                        app_avail[target][best] = finish;
+                    }
                     utilization[target].add_user(start, user_secs);
                     utilization[target].add_sys(start, sys_secs);
                     push(
                         finish,
+                        event.request,
+                        Step::CallFinished { stage, call },
+                        &mut seq,
+                    );
+                }
+                Step::CallNetDone { stage, call } => {
+                    // Network processing done: queue for an application
+                    // core. This is where the dedicated layout's bound
+                    // applies — a drop here has already burnt network-core
+                    // time on the doomed call.
+                    let call_spec = &request_type.stages()[stage].calls()[call];
+                    let target = self
+                        .placement
+                        .node_of(call_spec.service())
+                        .expect("placement covers every service");
+                    let user_secs = self.nodes[target].service_secs(call_spec.cpu_ms());
+                    let queue = if dfcfs {
+                        rss[target].queue_of(requests[event.request].flow)
+                    } else {
+                        0
+                    };
+                    let avail = if dfcfs {
+                        app_avail[target][queue]
+                    } else {
+                        app_avail[target]
+                            .iter()
+                            .copied()
+                            .fold(f64::INFINITY, f64::min)
+                    };
+                    let start = now.max(avail);
+                    if let Some(cap) = queue_size {
+                        if start > now {
+                            let q = &mut waiting[target][queue];
+                            while q.front().is_some_and(|&s| s <= now) {
+                                q.pop_front();
+                            }
+                            if q.len() >= cap {
+                                queue_drops[target][queue] += 1;
+                                let state = &mut requests[event.request];
+                                state.dropped = true;
+                                state.outstanding_calls -= 1;
+                                if state.outstanding_calls == 0 {
+                                    dropped_arrivals.push(state.arrival);
+                                }
+                                continue;
+                            }
+                            q.push_back(start);
+                        }
+                    }
+                    if dfcfs {
+                        app_avail[target][queue] = start + user_secs;
+                    } else {
+                        let (best, _) = app_avail[target]
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("node has at least one application core");
+                        app_avail[target][best] = start + user_secs;
+                    }
+                    utilization[target].add_user(start, user_secs);
+                    push(
+                        start + user_secs,
                         event.request,
                         Step::CallFinished { stage, call },
                         &mut seq,
@@ -609,6 +949,7 @@ impl Simulation {
                         .placement
                         .node_of(call_spec.service())
                         .expect("placement covers every service");
+                    calls_served[target] += 1;
                     let same_node = target == frontend_node;
                     let replied = send(
                         &mut link_avail,
@@ -623,13 +964,20 @@ impl Simulation {
                     }
                     state.outstanding_calls -= 1;
                     if state.outstanding_calls == 0 {
-                        let next_time = state.stage_end;
-                        let next_step = if stage + 1 < request_type.stages().len() {
-                            Step::Dispatch { stage: stage + 1 }
+                        if state.dropped {
+                            // A sibling call of this stage was dropped: the
+                            // request terminates once its in-flight calls
+                            // drain, without further stages or completion.
+                            dropped_arrivals.push(state.arrival);
                         } else {
-                            Step::Complete
-                        };
-                        push(next_time, event.request, next_step, &mut seq);
+                            let next_time = state.stage_end;
+                            let next_step = if stage + 1 < request_type.stages().len() {
+                                Step::Dispatch { stage: stage + 1 }
+                            } else {
+                                Step::Complete
+                            };
+                            push(next_time, event.request, next_step, &mut seq);
+                        }
                     }
                 }
                 Step::Complete => {
@@ -650,9 +998,23 @@ impl Simulation {
             }
         }
 
+        let queue_stats: Vec<NodeQueueStats> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                NodeQueueStats::new(
+                    n.name(),
+                    calls_arrived[i],
+                    calls_served[i],
+                    queue_drops[i].clone(),
+                )
+            })
+            .collect();
         Ok(
             RunMetrics::new(total_duration, arrivals.len(), completions, utilization)
-                .with_events(processed),
+                .with_events(processed)
+                .with_queue_stats(dropped_arrivals, queue_stats),
         )
     }
 }

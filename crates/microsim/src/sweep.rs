@@ -41,17 +41,29 @@ pub struct CurvePoint {
     qps: f64,
     median_ms: f64,
     tail_ms: f64,
+    #[serde(default)]
+    drop_fraction: f64,
 }
 
 impl CurvePoint {
-    /// Creates a point.
+    /// Creates a point (with no drops; simulations with bounded queues
+    /// attach theirs via [`CurvePoint::with_drop_fraction`]).
     #[must_use]
     pub fn new(qps: f64, median_ms: f64, tail_ms: f64) -> Self {
         Self {
             qps,
             median_ms,
             tail_ms,
+            drop_fraction: 0.0,
         }
+    }
+
+    /// Attaches the fraction of measured-window requests that a bounded
+    /// queue dropped.
+    #[must_use]
+    pub fn with_drop_fraction(mut self, drop_fraction: f64) -> Self {
+        self.drop_fraction = drop_fraction;
+        self
     }
 
     /// Offered load in requests per second.
@@ -70,6 +82,13 @@ impl CurvePoint {
     #[must_use]
     pub fn tail_ms(self) -> f64 {
         self.tail_ms
+    }
+
+    /// Fraction of the measured window's requests dropped by bounded
+    /// queues (zero under the default unbounded server model).
+    #[must_use]
+    pub fn drop_fraction(self) -> f64 {
+        self.drop_fraction
     }
 }
 
@@ -262,11 +281,19 @@ impl SweepConfig {
         );
         let metrics = sim.run(&workload)?;
         let stats = metrics.latency_stats_between(self.warmup_s, self.warmup_s + self.duration_s);
+        let dropped = metrics.dropped_between(self.warmup_s, self.warmup_s + self.duration_s);
+        let measured = stats.count() + dropped;
+        let drop_fraction = if measured == 0 {
+            0.0
+        } else {
+            dropped as f64 / measured as f64
+        };
         Ok(CurvePoint::new(
             qps,
             stats.median_ms().unwrap_or(0.0),
             stats.tail_ms().unwrap_or(0.0),
-        ))
+        )
+        .with_drop_fraction(drop_fraction))
     }
 
     /// Runs the sweep against a simulation and collects its latency curve.
@@ -530,6 +557,28 @@ mod tests {
     #[should_panic(expected = "at least one load point")]
     fn empty_sweep_panics() {
         let _ = SweepConfig::new(vec![], 1.0, 0.0);
+    }
+
+    #[test]
+    fn sweep_reports_drop_fractions_under_bounded_queues() {
+        use crate::sim::ServerModel;
+        let sim = phone_sim().with_server_model(ServerModel::new().with_queue_size(Some(16)));
+        let curve = SweepConfig::new(vec![300.0, 12_000.0], 1.5, 0.5)
+            .request_type(SN_COMPOSE_POST)
+            .run("phones", &sim)
+            .unwrap();
+        assert_eq!(curve.points()[0].drop_fraction(), 0.0, "light load drops");
+        let heavy = curve.points()[1].drop_fraction();
+        assert!(
+            heavy > 0.1 && heavy <= 1.0,
+            "deep saturation should shed visibly: {heavy}"
+        );
+        // The unbounded default never drops.
+        let unbounded = SweepConfig::new(vec![12_000.0], 1.5, 0.5)
+            .request_type(SN_COMPOSE_POST)
+            .run("phones", &phone_sim())
+            .unwrap();
+        assert_eq!(unbounded.points()[0].drop_fraction(), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use junkyard::microsim::app::hotel_reservation;
 use junkyard::microsim::network::NetworkModel;
 use junkyard::microsim::node::NodeSpec;
 use junkyard::microsim::placement::Placement;
-use junkyard::microsim::sim::Simulation;
+use junkyard::microsim::sim::{QueueDiscipline, ServerModel, Simulation};
 use proptest::prelude::*;
 
 /// A small two-phone simulation, cheap enough to run inside proptest.
@@ -33,6 +33,19 @@ fn flat_site(name: &str, grams: f64, capacity: f64) -> FleetSite {
         TimeSpan::from_days(1.0),
     );
     FleetSite::new(name, &tiny_sim(), GridRegion::new(name, trace), capacity)
+        .power(Watts::new(3.0), Watts::new(12.0))
+        .embodied(GramsCo2e::from_kilograms(5.0), TimeSpan::from_years(3.0))
+}
+
+/// A flat-grid site whose simulation drops at bounded application queues.
+fn bounded_site(name: &str, grams: f64, capacity: f64, model: ServerModel) -> FleetSite {
+    let trace = IntensityTrace::constant(
+        CarbonIntensity::from_grams_per_kwh(grams),
+        TimeSpan::from_hours(1.0),
+        TimeSpan::from_days(1.0),
+    );
+    let sim = tiny_sim().with_server_model(model);
+    FleetSite::new(name, &sim, GridRegion::new(name, trace), capacity)
         .power(Watts::new(3.0), Watts::new(12.0))
         .embodied(GramsCo2e::from_kilograms(5.0), TimeSpan::from_years(3.0))
 }
@@ -154,6 +167,72 @@ proptest! {
                     <= 1e-9 * window.mean_qps().max(1.0)
             );
             prop_assert!(plan.shed_mean_qps() >= 0.0);
+        }
+    }
+
+    /// With bounded application queues, every request the schedule offers
+    /// is accounted exactly once — served, router-declined or
+    /// queue-dropped — and the fleet's shed total decomposes into its two
+    /// components within 1e-9 (relative).
+    #[test]
+    fn fleet_conserves_offered_demand_under_bounded_queues(
+        base_qps in 200.0f64..3_500.0,
+        queue_size in 1usize..48,
+        cap in 400.0f64..4_000.0,
+        seed in 0u64..1_000,
+        dfcfs in 0u8..2,
+    ) {
+        let model = ServerModel::new()
+            .with_discipline(if dfcfs == 1 {
+                QueueDiscipline::DistributedFcfs
+            } else {
+                QueueDiscipline::CentralizedFcfs
+            })
+            .with_queue_size(Some(queue_size));
+        let config = FleetConfig::new()
+            .windows_per_day(4)
+            .sim_slice_s(1.0)
+            .warmup_s(0.0)
+            .seed(seed);
+        let schedule = DiurnalSchedule::office_day(base_qps);
+        let offered: f64 = schedule
+            .windows(4)
+            .iter()
+            .map(|w| w.mean_qps() * w.duration().seconds())
+            .sum();
+        let fleet = FleetSim::new(
+            vec![
+                bounded_site("a", 150.0, cap, model),
+                bounded_site("b", 450.0, cap / 2.0, model),
+            ],
+            schedule,
+            RoutingPolicy::Static,
+            config,
+        );
+        let result = fleet.run().unwrap();
+        let accounted = result.total_requests()
+            + result.router_declined_requests()
+            + result.queue_dropped_requests();
+        prop_assert!(
+            (accounted - offered).abs() <= 1e-9 * offered.max(1.0),
+            "accounted {accounted} vs offered {offered}"
+        );
+        prop_assert!(
+            (result.shed_requests()
+                - result.router_declined_requests()
+                - result.queue_dropped_requests())
+            .abs()
+                <= 1e-9 * result.shed_requests().max(1.0)
+        );
+        prop_assert!(result.router_declined_requests() >= 0.0);
+        prop_assert!(result.queue_dropped_requests() >= 0.0);
+        // Per-cell accounting: assigned demand = served + dropped.
+        for cell in result.cells() {
+            prop_assert!(
+                (cell.offered_requests() - cell.requests() - cell.dropped_requests()).abs()
+                    <= 1e-9 * cell.offered_requests().max(1.0)
+            );
+            prop_assert!(cell.dropped_requests() >= 0.0);
         }
     }
 }

@@ -4,9 +4,12 @@
 //! must produce **bit-identical** `RunMetrics` to the reference event loop
 //! (`Simulation::run_reference`, the pre-refactor semantics) for every
 //! seed: same offered count, same per-request latencies in the same order,
-//! same utilisation buckets, same event count. These properties drive both
-//! engines across randomly generated applications, placements and phased
-//! workloads, and pin the threaded sweep layer to its serial baseline.
+//! same utilisation buckets, same event count, same drop counters. These
+//! properties drive both engines across randomly generated applications,
+//! placements, phased workloads and (discipline × layout × queue bound)
+//! server models, pin the threaded sweep layer to its serial baseline,
+//! and pin the default model to goldens captured before the overload
+//! refactor.
 
 use junkyard::microsim::app::{
     hotel_reservation, social_network, Application, RequestType, ServiceCall, Stage,
@@ -16,7 +19,9 @@ use junkyard::microsim::network::NetworkModel;
 use junkyard::microsim::node::{ten_pixel_cloudlet, NodeSpec};
 use junkyard::microsim::placement::Placement;
 use junkyard::microsim::service::{ServiceKind, ServiceSpec};
-use junkyard::microsim::sim::{Phase, Simulation, Workload};
+use junkyard::microsim::sim::{
+    CoreLayout, Phase, QueueDiscipline, ServerModel, Simulation, Workload,
+};
 use junkyard::microsim::sweep::SweepConfig;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -74,6 +79,35 @@ fn random_app(seed: u64) -> Application {
         .collect();
 
     Application::new("random-app", "svc-0", services, request_types)
+}
+
+/// Picks a random server model from a seed: either queue discipline,
+/// either core layout (dedicated variants with 1–3 network cores) and an
+/// unbounded, tiny or moderate per-queue bound.
+fn random_server_model(seed: u64) -> ServerModel {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E4E);
+    let discipline = if rng.random::<u32>() % 2 == 0 {
+        QueueDiscipline::CentralizedFcfs
+    } else {
+        QueueDiscipline::DistributedFcfs
+    };
+    let layout = if rng.random::<u32>() % 2 == 0 {
+        CoreLayout::Combined
+    } else {
+        CoreLayout::Dedicated {
+            network_cores: 1 + rng.random::<u32>() % 3,
+        }
+    };
+    let queue_size = match rng.random::<u32>() % 4 {
+        0 => None,
+        1 => Some(0),
+        2 => Some(1 + (rng.random::<u32>() % 8) as usize),
+        _ => Some(16 + (rng.random::<u32>() % 112) as usize),
+    };
+    ServerModel::new()
+        .with_discipline(discipline)
+        .with_layout(layout)
+        .with_queue_size(queue_size)
 }
 
 /// A cluster of 2–5 generously sized nodes so every random app fits.
@@ -186,6 +220,54 @@ proptest! {
         prop_assert_eq!(reference, compiled);
     }
 
+    /// The differential overload harness: random (discipline × layout ×
+    /// queue bound) server models over random applications, at loads from
+    /// light to deep overload. The engines must agree on the *full*
+    /// `RunMetrics` — including per-node drop counters and dropped-arrival
+    /// lists — and every run must conserve work at both the call level
+    /// (arrived == served + dropped per fleet) and the request level
+    /// (offered == completed + dropped; the event loop drains fully).
+    #[test]
+    fn compiled_engine_matches_reference_under_random_server_models(
+        app_seed in 0u64..1_000_000,
+        model_seed in 0u64..1_000_000,
+        workload_seed in 0u64..1_000_000,
+        qps in 100.0f64..6_000.0,
+        builtin in 0u8..3,
+    ) {
+        let (app, restricted) = match builtin {
+            0 => (social_network(), Some(SN_COMPOSE_POST)),
+            1 => (hotel_reservation(), None),
+            _ => (random_app(app_seed), None),
+        };
+        let (nodes, placement_seed) = if builtin < 2 {
+            (ten_pixel_cloudlet(), 11)
+        } else {
+            (random_cluster(app_seed), app_seed % 1_000)
+        };
+        let placement = Placement::swarm_spread(&app, &nodes, placement_seed).unwrap();
+        let model = random_server_model(model_seed);
+        let sim = Simulation::new(app, nodes, placement, NetworkModel::phone_wifi())
+            .unwrap()
+            .with_server_model(model);
+        let workload = Workload::steady(qps, 1.0, restricted, workload_seed);
+        let reference = sim.run_reference(&workload).unwrap();
+        let compiled = sim.run(&workload).unwrap();
+        prop_assert_eq!(&reference, &compiled);
+
+        let arrived: u64 = reference.queue_stats().iter().map(|s| s.calls_arrived()).sum();
+        let served: u64 = reference.queue_stats().iter().map(|s| s.calls_served()).sum();
+        let dropped: u64 = reference.queue_stats().iter().map(|s| s.dropped()).sum();
+        prop_assert_eq!(arrived, served + dropped);
+        prop_assert_eq!(
+            reference.offered(),
+            reference.completions().len() + reference.dropped()
+        );
+        if model.queue_size().is_none() {
+            prop_assert_eq!(reference.dropped(), 0);
+        }
+    }
+
     /// The threaded sweep produces the same curve as a serial sweep, in the
     /// same point order, for any worker count.
     #[test]
@@ -207,6 +289,42 @@ proptest! {
         let threaded = config.parallelism(workers).run("hotel", &sim).unwrap();
         prop_assert_eq!(serial, threaded);
     }
+}
+
+/// The default server model (unbounded centralized FCFS, combined cores)
+/// reproduces the exact pre-overload-refactor results: same offered count,
+/// same event count, bit-identical latency percentiles, nothing dropped.
+/// These constants were captured on the engine before queue disciplines,
+/// core layouts and bounded queues existed; if this test fails, the
+/// refactor changed default behaviour.
+#[test]
+fn default_model_reproduces_pre_overload_goldens() {
+    let app = social_network();
+    let nodes = ten_pixel_cloudlet();
+    let placement = Placement::swarm_spread(&app, &nodes, 11).unwrap();
+    let sim = Simulation::new(app, nodes, placement, NetworkModel::phone_wifi()).unwrap();
+    let workload = Workload::phased(
+        vec![
+            Phase::new(900.0, 2.0, Some(SN_COMPOSE_POST)),
+            Phase::ramp(200.0, 1_100.0, 1.5, None),
+        ],
+        77,
+    );
+    let metrics = sim.run(&workload).unwrap();
+    assert_eq!(metrics, sim.run_reference(&workload).unwrap());
+    let stats = metrics.latency_stats();
+    assert_eq!(metrics.offered(), 2_810);
+    assert_eq!(metrics.events_processed(), 127_545);
+    assert_eq!(
+        stats.median_ms().map(f64::to_bits),
+        Some(4_630_063_251_449_807_189)
+    );
+    assert_eq!(
+        stats.tail_ms().map(f64::to_bits),
+        Some(4_630_072_026_210_878_201)
+    );
+    assert_eq!(metrics.dropped(), 0);
+    assert!(metrics.queue_stats().iter().all(|s| s.dropped() == 0));
 }
 
 /// The headline determinism guarantee, spelled out: two runs of the same
