@@ -1,0 +1,124 @@
+//! Resilience study: the carbon price of availability on the two-region
+//! CAISO cloudlet setup under an identical correlated fault plan — grid
+//! outages, firmware batches and thermal shutdowns seen through a stale
+//! health view.
+//!
+//! Compares N+1 overprovisioning, retry-to-fallback (hedged to a leased
+//! datacenter standby) and degrade-in-place against the unmitigated run
+//! and a fault-free baseline that must be bit-identical to the
+//! pre-fault-layer serving path.
+//!
+//! Runs a reduced study by default; set `JUNKYARD_FULL=1` for the full
+//! one-year hourly-window horizon. Writes every strategy's availability
+//! and carbon accounting to `RESILIENCE_study.json` (or the path given
+//! as the first argument) so CI can archive it with the perf report.
+use std::fmt::Write as _;
+
+use junkyard_bench::full_scale;
+use junkyard_core::resilience_study::ResilienceStudy;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "RESILIENCE_study.json".to_owned());
+    let study = if full_scale() {
+        ResilienceStudy::paper_scale()
+    } else {
+        ResilienceStudy::quick()
+    };
+    let result = study.run().expect("the resilience study builds and runs");
+
+    assert!(
+        result.baseline_bit_identical(),
+        "disabled fault machinery must be bit-identical to the plain run"
+    );
+    assert_eq!(
+        result.baseline().result().failed_requests(),
+        0.0,
+        "the fault-free baseline must not fail a single request"
+    );
+
+    println!(
+        "baseline bit-identical: {}; strategies under the shared fault plan:",
+        result.baseline_bit_identical()
+    );
+    for s in result.strategies() {
+        println!(
+            "  {:<20} availability {:.6} ({:.2} nines)  {:.6} gCO2e/req  retry {:.1} g",
+            s.name(),
+            s.availability(),
+            s.nines(),
+            s.grams_per_request(),
+            s.retry_grams(),
+        );
+    }
+    if let Some(price) = result.grams_per_nine("unmitigated", "retry-to-fallback") {
+        println!("price of a nine, unmitigated -> retry-to-fallback: {price:.6} gCO2e/request");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"study\": \"resilience\",\n");
+    let _ = writeln!(
+        json,
+        "  \"baseline_bit_identical\": {},",
+        result.baseline_bit_identical()
+    );
+    json.push_str("  \"strategies\": [\n");
+    let strategies: Vec<String> = result
+        .strategies()
+        .iter()
+        .map(|s| {
+            let r = s.result();
+            format!(
+                "    {{\"name\": \"{}\", \"description\": \"{}\", \
+                 \"availability\": {:.9}, \"nines\": {:.4}, \
+                 \"served_requests\": {:.3}, \"failed_requests\": {:.3}, \
+                 \"declined_requests\": {:.3}, \"queue_dropped_requests\": {:.3}, \
+                 \"low_priority_shed_requests\": {:.3}, \
+                 \"retried_ok_requests\": {:.3}, \"hedged_requests\": {:.3}, \
+                 \"rerouted_requests\": {:.3}, \"brownout_requests\": {:.3}, \
+                 \"downtime_windows\": {}, \"goodput_qps\": {:.3}, \
+                 \"operational_g\": {:.3}, \"embodied_g\": {:.3}, \
+                 \"retry_carbon_g\": {:.3}, \"total_carbon_g\": {:.3}, \
+                 \"grams_per_request\": {:.9}}}",
+                s.name(),
+                s.description(),
+                s.availability(),
+                s.nines(),
+                r.total_requests(),
+                r.failed_requests(),
+                r.router_declined_requests(),
+                r.queue_dropped_requests(),
+                r.low_priority_shed_requests(),
+                r.retried_ok_requests(),
+                r.hedged_requests(),
+                r.rerouted_requests(),
+                r.brownout_requests(),
+                r.downtime_windows(0.5),
+                r.goodput_qps(),
+                r.total_operational().grams(),
+                r.total_embodied().grams(),
+                r.total_retry_carbon().grams(),
+                r.total_carbon().grams(),
+                s.grams_per_request(),
+            )
+        })
+        .collect();
+    json.push_str(&strategies.join(",\n"));
+    json.push_str("\n  ],\n");
+    let price = |worse: &str, better: &str| {
+        result
+            .grams_per_nine(worse, better)
+            .map_or_else(|| "null".to_owned(), |p| format!("{p:.9}"))
+    };
+    let _ = writeln!(
+        json,
+        "  \"grams_per_nine\": {{\n    \"n_plus_one\": {},\n    \"retry_to_fallback\": {},\n    \
+         \"degrade_in_place\": {}\n  }}\n}}",
+        price("unmitigated", "n-plus-one"),
+        price("unmitigated", "retry-to-fallback"),
+        price("unmitigated", "degrade-in-place"),
+    );
+    std::fs::write(&output, &json).expect("report file is writable");
+    println!("wrote {output}");
+}

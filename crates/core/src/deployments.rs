@@ -44,6 +44,9 @@ pub enum DeploymentError {
     Placement(PlacementError),
     /// Simulation assembly failed.
     Sim(SimError),
+    /// A fleet site was configured with an option that does not apply to
+    /// its backend kind (e.g. device failures on a leased site).
+    SiteConfig(junkyard_fleet::lifecycle::SiteConfigError),
 }
 
 impl std::fmt::Display for DeploymentError {
@@ -51,11 +54,18 @@ impl std::fmt::Display for DeploymentError {
         match self {
             DeploymentError::Placement(e) => write!(f, "placement failed: {e}"),
             DeploymentError::Sim(e) => write!(f, "simulation setup failed: {e}"),
+            DeploymentError::SiteConfig(e) => write!(f, "site configuration rejected: {e}"),
         }
     }
 }
 
 impl std::error::Error for DeploymentError {}
+
+impl From<junkyard_fleet::lifecycle::SiteConfigError> for DeploymentError {
+    fn from(value: junkyard_fleet::lifecycle::SiteConfigError) -> Self {
+        DeploymentError::SiteConfig(value)
+    }
+}
 
 impl From<PlacementError> for DeploymentError {
     fn from(value: PlacementError) -> Self {

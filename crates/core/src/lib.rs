@@ -49,6 +49,7 @@ pub mod lifecycle_study;
 pub mod overload_study;
 pub mod planner_study;
 pub mod report;
+pub mod resilience_study;
 pub mod single_device;
 pub mod tables;
 pub mod thermal_study;
@@ -63,5 +64,8 @@ pub use lifecycle_study::{LifecycleStudy, LifecycleStudyResult};
 pub use overload_study::{OverloadCurve, OverloadStudy, OverloadStudyResult};
 pub use planner_study::{PlannerStudy, PlannerStudyResult};
 pub use report::{Chart, SeriesLine, Table};
+pub use resilience_study::{
+    availability_nines, ResilienceStudy, ResilienceStudyResult, StrategyOutcome,
+};
 pub use single_device::SingleDeviceStudy;
 pub use thermal_study::{run_thermal_study, ThermalStudyResult};

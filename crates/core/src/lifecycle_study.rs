@@ -64,6 +64,7 @@ pub struct LifecycleStudy {
     trace_step: TimeSpan,
     mean_days_between_failures: f64,
     replacement_lag_days: usize,
+    spare_pixels: usize,
 }
 
 impl LifecycleStudy {
@@ -85,6 +86,7 @@ impl LifecycleStudy {
             trace_step: TimeSpan::from_minutes(5.0),
             mean_days_between_failures: 1_500.0,
             replacement_lag_days: 7,
+            spare_pixels: 0,
         }
     }
 
@@ -104,6 +106,7 @@ impl LifecycleStudy {
             trace_step: TimeSpan::from_minutes(15.0),
             mean_days_between_failures: 1_500.0,
             replacement_lag_days: 7,
+            spare_pixels: 0,
         }
     }
 
@@ -136,6 +139,16 @@ impl LifecycleStudy {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Adds N+1-style spare Pixel 3A slots to every cloudlet, beyond the
+    /// paper's six-Pixel/four-Nexus layout. Spares cost embodied carbon
+    /// on day 0 and idle power for the whole horizon, which is exactly
+    /// the overprovisioning price the resilience study measures.
+    #[must_use]
+    pub fn spare_pixels(mut self, spares: usize) -> Self {
+        self.spare_pixels = spares;
         self
     }
 
@@ -228,9 +241,10 @@ impl LifecycleStudy {
         let nexus = catalog::nexus_4();
         let (pixel_qps, nexus_qps) = Self::slot_capacities();
 
-        let mut nodes = Vec::with_capacity(PIXELS_PER_SITE + NEXUSES_PER_SITE);
-        let mut devices = Vec::with_capacity(PIXELS_PER_SITE + NEXUSES_PER_SITE);
-        for i in 0..PIXELS_PER_SITE {
+        let pixels = PIXELS_PER_SITE + self.spare_pixels;
+        let mut nodes = Vec::with_capacity(pixels + NEXUSES_PER_SITE);
+        let mut devices = Vec::with_capacity(pixels + NEXUSES_PER_SITE);
+        for i in 0..pixels {
             nodes.push(NodeSpec::from_device(format!("pixel-{i}"), &pixel));
             devices.push(Self::cohort_slot(&pixel, pixel_qps));
         }
@@ -251,12 +265,13 @@ impl LifecycleStudy {
             .sum::<GramsCo2e>()
             + GramsCo2e::from_kilograms(FAN_EMBODIED_KG);
 
-        Ok(
+        let site =
             LifecycleSite::cohort(name, &sim, GridRegion::new(name, trace), devices, install)
                 .request_type(SN_COMPOSE_POST)
                 .overhead_power(Watts::new(FAN_WATTS))
-                .failures(self.mean_days_between_failures, self.replacement_lag_days),
-        )
+                .failures(self.mean_days_between_failures, self.replacement_lag_days)
+                .map_err(DeploymentError::SiteConfig)?;
+        Ok(site)
     }
 
     /// Builds the rented c5.9xlarge backend on a flat gas-heavy grid: its

@@ -20,6 +20,13 @@
 //!   carbon per window, and reports fleet-wide gCO2e per request. Cells
 //!   fan out across scoped threads with pre-assigned output slots, so
 //!   results are identical serial or threaded.
+//! * [`faults`] — correlated fault injection and the failure-aware
+//!   serving path: deterministic [`FaultPlan`](faults::FaultPlan)s of
+//!   grid outages, firmware-batch failures and thermal shutdowns; a
+//!   stale health view with detection lag; bounded
+//!   [`RetryPolicy`](faults::RetryPolicy) retries and hedging, every
+//!   attempt charged its carbon; and a degradation ladder
+//!   (reroute → shed low-priority → brown-out) when retries exhaust.
 //! * [`lifecycle`] — [`LifecycleSim`](lifecycle::LifecycleSim): the
 //!   multi-year coupling of all of the above. Device cohorts wear their
 //!   batteries day by day under the simulated smart-charging schedule,
@@ -71,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod lifecycle;
 pub mod routing;
 pub mod schedule;
@@ -79,8 +87,12 @@ pub mod site;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use faults::{
+    DegradationLadder, FaultConfig, FaultEvent, FaultKind, FaultPlan, ResiliencePolicy, RetryPolicy,
+};
 pub use lifecycle::{
     CohortDevice, LifecycleCell, LifecycleConfig, LifecycleResult, LifecycleSim, LifecycleSite,
+    SiteConfigError, WindowHealth,
 };
 pub use routing::{RoutingPolicy, SiteWindowInput, WindowAssignment};
 pub use schedule::{DiurnalSchedule, LoadWindow};

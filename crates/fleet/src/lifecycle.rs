@@ -49,6 +49,7 @@ use junkyard_microsim::compiled::CompiledSim;
 use junkyard_microsim::sim::{Phase, SimError, Simulation, Workload};
 use junkyard_microsim::sweep::decorrelate_seed;
 
+use crate::faults::{resolve_window, FaultConfig, FaultPlan, ResiliencePolicy, WindowResolution};
 use crate::routing::{plan_window_inputs, RoutingPolicy, SiteWindowInput, WindowAssignment};
 use crate::schedule::{DiurnalSchedule, LoadWindow};
 use crate::site::GridRegion;
@@ -56,6 +57,36 @@ use crate::site::GridRegion;
 /// Days per simulated year (the lifecycle steps whole days; leap days are
 /// ignored like the paper's month-granular accounting).
 pub const DAYS_PER_YEAR: usize = 365;
+
+/// A site-builder configuration error: the requested option does not
+/// apply to the site's backend kind, or a parameter is out of range. The
+/// message says what to do instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteConfigError {
+    message: String,
+}
+
+impl SiteConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The actionable error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for SiteConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SiteConfigError {}
 
 /// One device slot of a cohort site: the phone model occupying it, its
 /// battery, what a junkyard replacement costs in embodied carbon and what
@@ -297,15 +328,20 @@ impl LifecycleSite {
     /// replacement (fresh pack included free with the donor) takes over,
     /// charging the slot's Reuse-Factor embodied share.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a leased site or if `mean_days` is not strictly positive.
-    #[must_use]
-    pub fn failures(mut self, mean_days: f64, lag_days: usize) -> Self {
-        assert!(
-            mean_days > 0.0,
-            "mean days between failures must be positive"
-        );
+    /// Returns a [`SiteConfigError`] on a leased site (leased backends
+    /// have no device slots to fail — model their unavailability with a
+    /// [`crate::faults::FaultConfig`] grid outage instead) or when
+    /// `mean_days` is not strictly positive.
+    pub fn failures(mut self, mean_days: f64, lag_days: usize) -> Result<Self, SiteConfigError> {
+        if mean_days <= 0.0 || !mean_days.is_finite() {
+            return Err(SiteConfigError::new(format!(
+                "failures({mean_days}, {lag_days}) on site '{}': the mean days \
+                 between failures must be a positive finite number",
+                self.name
+            )));
+        }
         match &mut self.backend {
             Backend::Cohort {
                 mean_days_between_failures,
@@ -315,9 +351,17 @@ impl LifecycleSite {
                 *mean_days_between_failures = mean_days;
                 *replacement_lag_days = lag_days;
             }
-            Backend::Leased { .. } => panic!("failures apply to cohort sites"),
+            Backend::Leased { .. } => {
+                return Err(SiteConfigError::new(format!(
+                    "failures({mean_days}, {lag_days}) on site '{}': stochastic \
+                     device failures apply to cohort sites only — a leased backend \
+                     has no device slots to fail. Model a leased site's \
+                     unavailability with a `FaultConfig` grid outage instead",
+                    self.name
+                )));
+            }
         }
-        self
+        Ok(self)
     }
 
     /// Sets a leased site's power model.
@@ -603,6 +647,8 @@ pub struct DayLedger {
     requests: f64,
     operational: GramsCo2e,
     embodied: GramsCo2e,
+    #[serde(default)]
+    retry: GramsCo2e,
 }
 
 impl DayLedger {
@@ -624,10 +670,17 @@ impl DayLedger {
         self.embodied
     }
 
+    /// Network and marginal-compute carbon of the day's retries, hedges
+    /// and degraded serving (zero on a fault-free run).
+    #[must_use]
+    pub fn retry_carbon(&self) -> GramsCo2e {
+        self.retry
+    }
+
     /// Total carbon of the day.
     #[must_use]
     pub fn carbon(&self) -> GramsCo2e {
-        self.operational + self.embodied
+        self.operational + self.embodied + self.retry
     }
 }
 
@@ -641,6 +694,8 @@ pub struct LifecycleCell {
     dropped_requests: f64,
     operational: GramsCo2e,
     embodied: GramsCo2e,
+    #[serde(default)]
+    retry_carbon: GramsCo2e,
     battery_replacements: u32,
     device_failures: u32,
     devices_replaced: u32,
@@ -692,10 +747,18 @@ impl LifecycleCell {
         self.embodied
     }
 
+    /// Network and marginal-compute carbon of retries, hedges and
+    /// degraded serving charged to the site during the year (zero on a
+    /// fault-free run).
+    #[must_use]
+    pub fn retry_carbon(&self) -> GramsCo2e {
+        self.retry_carbon
+    }
+
     /// Total carbon of the cell.
     #[must_use]
     pub fn carbon(&self) -> GramsCo2e {
-        self.operational + self.embodied
+        self.operational + self.embodied + self.retry_carbon
     }
 
     /// Battery packs replaced during the year.
@@ -749,6 +812,50 @@ impl LifecycleCell {
     }
 }
 
+/// The serving health of one routing window: what the router assigned to
+/// sites, what was actually delivered (including retries, hedges and
+/// degraded serving), and what finally failed. Request counts, not rates;
+/// queue drops are accounted separately in the cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowHealth {
+    offered: f64,
+    served: f64,
+    failed: f64,
+}
+
+impl WindowHealth {
+    /// Requests the router assigned to sites during the window.
+    #[must_use]
+    pub fn offered(&self) -> f64 {
+        self.offered
+    }
+
+    /// Requests delivered during the window (first attempts plus
+    /// retries, hedges, reroutes and brown-out serving).
+    #[must_use]
+    pub fn served(&self) -> f64 {
+        self.served
+    }
+
+    /// Requests that failed during the window after the whole
+    /// retry/degradation ladder.
+    #[must_use]
+    pub fn failed(&self) -> f64 {
+        self.failed
+    }
+
+    /// The window's success rate: delivered over assigned (1.0 for an
+    /// idle window).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.offered > 0.0 {
+            (self.offered - self.failed) / self.offered
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Result of a lifecycle run: the (year, site) accounting grid, a
 /// fleet-wide per-day ledger and lifetime totals.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -765,6 +872,24 @@ pub struct LifecycleResult {
     total_requests: f64,
     total_operational: GramsCo2e,
     total_embodied: GramsCo2e,
+    #[serde(default)]
+    failed_requests: f64,
+    #[serde(default)]
+    retried_ok_requests: f64,
+    #[serde(default)]
+    hedged_requests: f64,
+    #[serde(default)]
+    rerouted_requests: f64,
+    #[serde(default)]
+    brownout_requests: f64,
+    #[serde(default)]
+    low_priority_shed_requests: f64,
+    #[serde(default)]
+    total_retry_carbon: GramsCo2e,
+    #[serde(default)]
+    window_health: Vec<WindowHealth>,
+    #[serde(default)]
+    horizon_seconds: f64,
 }
 
 impl LifecycleResult {
@@ -818,13 +943,130 @@ impl LifecycleResult {
         self.dropped_requests
     }
 
-    /// Requests lost anywhere: router-declined plus queue-dropped — the
-    /// historical "shed" total. The components are reported separately by
-    /// [`Self::router_declined_requests`] and
-    /// [`Self::queue_dropped_requests`].
+    /// Requests deliberately lost anywhere: router-declined plus
+    /// queue-dropped plus low-priority shed from the degradation ladder
+    /// — the historical "shed" total. The components are reported
+    /// separately by [`Self::router_declined_requests`],
+    /// [`Self::queue_dropped_requests`] and
+    /// [`Self::low_priority_shed_requests`]. Requests that *failed*
+    /// (landed on dead capacity and exhausted the ladder) are not shed —
+    /// see [`Self::failed_requests`].
     #[must_use]
     pub fn shed_requests(&self) -> f64 {
-        self.declined_requests + self.dropped_requests
+        self.declined_requests + self.dropped_requests + self.low_priority_shed_requests
+    }
+
+    /// Requests that failed over the horizon: sent to capacity that was
+    /// not actually there (stale health view) and not recovered by
+    /// retries, hedging or the degradation ladder. Zero on a fault-free
+    /// run.
+    #[must_use]
+    pub fn failed_requests(&self) -> f64 {
+        self.failed_requests
+    }
+
+    /// Requests recovered by client retries over the horizon.
+    #[must_use]
+    pub fn retried_ok_requests(&self) -> f64 {
+        self.retried_ok_requests
+    }
+
+    /// Requests recovered by hedging to the standby fallback site.
+    #[must_use]
+    pub fn hedged_requests(&self) -> f64 {
+        self.hedged_requests
+    }
+
+    /// Requests recovered by the operator reroute rung.
+    #[must_use]
+    pub fn rerouted_requests(&self) -> f64 {
+        self.rerouted_requests
+    }
+
+    /// Requests served at degraded quality by the brown-out rung.
+    #[must_use]
+    pub fn brownout_requests(&self) -> f64 {
+        self.brownout_requests
+    }
+
+    /// Requests shed as low-priority by the degradation ladder.
+    #[must_use]
+    pub fn low_priority_shed_requests(&self) -> f64 {
+        self.low_priority_shed_requests
+    }
+
+    /// Network and marginal-compute carbon of every retry, hedge and
+    /// degraded serving attempt over the horizon — the explicit carbon
+    /// price of the resilience machinery, kept out of
+    /// [`Self::total_operational`] so it is separately attributable.
+    #[must_use]
+    pub fn total_retry_carbon(&self) -> GramsCo2e {
+        self.total_retry_carbon
+    }
+
+    /// Everything the schedule offered over the horizon, reconstructed
+    /// from the conserved buckets: served + declined + queue-dropped +
+    /// low-priority shed + failed.
+    #[must_use]
+    pub fn offered_requests(&self) -> f64 {
+        self.total_requests
+            + self.declined_requests
+            + self.dropped_requests
+            + self.low_priority_shed_requests
+            + self.failed_requests
+    }
+
+    /// Request availability over the horizon: the fraction of requests
+    /// assigned to sites that did not fail (1.0 when nothing was
+    /// assigned). Declines are capacity planning, not failures, so they
+    /// do not count against availability.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let assigned = self.total_requests
+            + self.dropped_requests
+            + self.low_priority_shed_requests
+            + self.failed_requests;
+        if assigned > 0.0 {
+            1.0 - self.failed_requests / assigned
+        } else {
+            1.0
+        }
+    }
+
+    /// The per-window serving health series (one entry per routing
+    /// window; all-healthy on a fault-free run).
+    #[must_use]
+    pub fn window_health(&self) -> &[WindowHealth] {
+        &self.window_health
+    }
+
+    /// Per-window success rates, in window order.
+    #[must_use]
+    pub fn window_success_rates(&self) -> Vec<f64> {
+        self.window_health
+            .iter()
+            .map(WindowHealth::success_rate)
+            .collect()
+    }
+
+    /// Number of downtime windows: windows whose success rate fell
+    /// strictly below `threshold` (e.g. `0.5` for majority-failed).
+    #[must_use]
+    pub fn downtime_windows(&self, threshold: f64) -> usize {
+        self.window_health
+            .iter()
+            .filter(|h| h.success_rate() < threshold)
+            .count()
+    }
+
+    /// Goodput: successfully served requests per second of horizon.
+    #[must_use]
+    pub fn goodput_qps(&self) -> f64 {
+        if self.horizon_seconds > 0.0 {
+            self.total_requests / self.horizon_seconds
+        } else {
+            0.0
+        }
     }
 
     /// Requests served across the fleet and the horizon.
@@ -845,10 +1087,10 @@ impl LifecycleResult {
         self.total_embodied
     }
 
-    /// Lifetime total carbon.
+    /// Lifetime total carbon, the retry/hedge carbon included.
     #[must_use]
     pub fn total_carbon(&self) -> GramsCo2e {
-        self.total_operational + self.total_embodied
+        self.total_operational + self.total_embodied + self.total_retry_carbon
     }
 
     /// Lifetime-amortised grams of CO2e per served request, or `None` if
@@ -1018,6 +1260,8 @@ pub struct LifecycleSim {
     schedule: DiurnalSchedule,
     policy: RoutingPolicy,
     config: LifecycleConfig,
+    faults: Option<FaultConfig>,
+    resilience: Option<ResiliencePolicy>,
 }
 
 impl LifecycleSim {
@@ -1040,7 +1284,42 @@ impl LifecycleSim {
             schedule,
             policy,
             config,
+            faults: None,
+            resilience: None,
         }
+    }
+
+    /// Injects a correlated fault schedule: a deterministic
+    /// [`FaultPlan`] of grid outages, firmware-batch failures and
+    /// thermal shutdowns is generated from `config` (seeded from the run
+    /// seed) and applied on top of the per-device daily dynamics. A
+    /// disabled config is exactly equivalent to no faults at all —
+    /// bit-identical results.
+    #[must_use]
+    pub fn with_faults(mut self, config: FaultConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
+    /// Installs the failure-aware serving policy: health-view detection
+    /// lag, client retries/hedging and the operator degradation ladder.
+    /// Without faults and without a standby fallback site this changes
+    /// nothing — results stay bit-identical to the plain run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy names a fallback site index out of range.
+    #[must_use]
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        if let Some(site) = policy.fallback() {
+            assert!(
+                site < self.sites.len(),
+                "fallback site index {site} out of range ({} sites)",
+                self.sites.len()
+            );
+        }
+        self.resilience = Some(policy);
+        self
     }
 
     /// The fleet's sites.
@@ -1243,13 +1522,51 @@ impl LifecycleSim {
             .map(|s| self.simulate_dynamics(s, days))
             .collect();
 
+        // The correlated fault schedule and its serving consequences.
+        // With a disabled/absent fault config and no standby fallback,
+        // `resolutions` stays `None` and every downstream expression
+        // reduces to the plain path — fault-free runs are bit-identical
+        // to runs that never constructed the fault layer at all.
+        let fault_plan = match &self.faults {
+            Some(config) => FaultPlan::generate(
+                config,
+                windows.len(),
+                sites,
+                wpd,
+                decorrelate_seed(self.config.seed, 1 << 32),
+            ),
+            None => FaultPlan::none(windows.len(), sites),
+        };
+        let fallback = self
+            .resilience
+            .as_ref()
+            .and_then(ResiliencePolicy::fallback);
+        let active = !fault_plan.is_fault_free() || fallback.is_some();
+        let lag = self
+            .resilience
+            .as_ref()
+            .map_or(0, ResiliencePolicy::lag_windows);
+        // The router's (possibly stale) health view: window `w` is
+        // planned from the availability that was true `lag` windows ago;
+        // before anything could be observed, everything looks healthy.
+        let observed_avail = |w: usize, s: usize| {
+            if w >= lag {
+                fault_plan.availability(w - lag, s)
+            } else {
+                1.0
+            }
+        };
+
         // Serial pass 2: per-window routing plans against the capacity
-        // actually alive that day, plus the window-mean intensities the
-        // cells will charge energy at.
+        // the router *believes* is alive that day (true capacity times
+        // the lagged availability; a standby fallback site is planned at
+        // zero so it takes no primary traffic), plus the window-mean
+        // intensities the cells will charge energy at.
         let mut intensities: Vec<Vec<CarbonIntensity>> = Vec::with_capacity(windows.len());
         let mut plans: Vec<WindowAssignment> = Vec::with_capacity(windows.len());
         for window in &windows {
             let day = window.index() / wpd;
+            let w = window.index();
             let window_intensities: Vec<CarbonIntensity> = self
                 .sites
                 .iter()
@@ -1260,13 +1577,55 @@ impl LifecycleSim {
                 .collect();
             let inputs: Vec<SiteWindowInput> = (0..sites)
                 .map(|s| SiteWindowInput {
-                    capacity_qps: dynamics[s][day].capacity_qps,
+                    capacity_qps: if !active {
+                        dynamics[s][day].capacity_qps
+                    } else if Some(s) == fallback {
+                        0.0
+                    } else {
+                        dynamics[s][day].capacity_qps * observed_avail(w, s)
+                    },
                     intensity: window_intensities[s],
                 })
                 .collect();
             plans.push(plan_window_inputs(self.policy, &inputs, window));
             intensities.push(window_intensities);
         }
+
+        // Serial pass 3 (faulty runs only): resolve each window's serving
+        // outcome — first attempts against *true* capacity, then the
+        // retry rounds aimed by the stale view, the hedge, and the
+        // degradation ladder.
+        let resolutions: Option<Vec<WindowResolution>> = if active {
+            let policy = self.resilience.as_ref();
+            Some(
+                windows
+                    .iter()
+                    .map(|window| {
+                        let w = window.index();
+                        let day = w / wpd;
+                        let assigned: Vec<f64> =
+                            (0..sites).map(|s| plans[w].site_mean_qps(s)).collect();
+                        let true_cap: Vec<f64> = (0..sites)
+                            .map(|s| dynamics[s][day].capacity_qps * fault_plan.availability(w, s))
+                            .collect();
+                        let observed_cap: Vec<f64> = (0..sites)
+                            .map(|s| dynamics[s][day].capacity_qps * observed_avail(w, s))
+                            .collect();
+                        let avail: Vec<f64> =
+                            (0..sites).map(|s| fault_plan.availability(w, s)).collect();
+                        resolve_window(&assigned, &true_cap, &observed_cap, &avail, policy)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let resolutions = resolutions.as_deref();
+        let retry_grams = self
+            .resilience
+            .as_ref()
+            .and_then(ResiliencePolicy::retry_policy)
+            .map_or(0.0, crate::faults::RetryPolicy::attempt_grams);
 
         // Parallel pass: (year, site) cells into order-preserving slots.
         let n = years_spanned * sites;
@@ -1289,6 +1648,8 @@ impl LifecycleSim {
                     &plans,
                     &intensities,
                     &dynamics,
+                    resolutions,
+                    retry_grams,
                 ));
             }
         } else {
@@ -1317,6 +1678,8 @@ impl LifecycleSim {
                                 plans,
                                 intensities,
                                 dynamics,
+                                resolutions,
+                                retry_grams,
                             ));
                         }
                     });
@@ -1334,6 +1697,7 @@ impl LifecycleSim {
                 requests: 0.0,
                 operational: GramsCo2e::ZERO,
                 embodied: GramsCo2e::ZERO,
+                retry: GramsCo2e::ZERO,
             };
             days
         ];
@@ -1341,22 +1705,61 @@ impl LifecycleSim {
         let mut dropped_requests = 0.0;
         let mut total_operational = GramsCo2e::ZERO;
         let mut total_embodied = GramsCo2e::ZERO;
+        let mut total_retry_carbon = GramsCo2e::ZERO;
         for cell in &cells {
             total_requests += cell.requests;
             dropped_requests += cell.dropped_requests;
             total_operational += cell.operational;
             total_embodied += cell.embodied;
+            total_retry_carbon += cell.retry_carbon;
             for (offset, ledger) in cell.daily.iter().enumerate() {
                 let merged = &mut day_ledger[cell.year * DAYS_PER_YEAR + offset];
                 merged.requests += ledger.requests;
                 merged.operational += ledger.operational;
                 merged.embodied += ledger.embodied;
+                merged.retry += ledger.retry;
             }
         }
-        let declined_requests = plans
-            .iter()
-            .map(|p| p.declined_mean_qps() * windows[0].duration().seconds())
-            .sum();
+        let window_s = windows[0].duration().seconds();
+        let declined_requests = plans.iter().map(|p| p.declined_mean_qps() * window_s).sum();
+
+        // Availability accounting: the resolved fault outcomes rolled up
+        // into horizon totals and the per-window health series (synthesised
+        // all-healthy on a fault-free run).
+        let mut failed_requests = 0.0;
+        let mut retried_ok_requests = 0.0;
+        let mut hedged_requests = 0.0;
+        let mut rerouted_requests = 0.0;
+        let mut brownout_requests = 0.0;
+        let mut low_priority_shed_requests = 0.0;
+        let mut window_health = Vec::with_capacity(windows.len());
+        for window in &windows {
+            let w = window.index();
+            let offered: f64 =
+                (0..sites).map(|s| plans[w].site_mean_qps(s)).sum::<f64>() * window_s;
+            if let Some(res) = resolutions {
+                let r = &res[w];
+                let failed = r.failed_mean * window_s;
+                let lp_shed = r.lp_shed_mean * window_s;
+                failed_requests += failed;
+                retried_ok_requests += r.retried_ok_mean * window_s;
+                hedged_requests += r.hedged_mean * window_s;
+                rerouted_requests += r.rerouted_mean * window_s;
+                brownout_requests += r.brownout_mean * window_s;
+                low_priority_shed_requests += lp_shed;
+                window_health.push(WindowHealth {
+                    offered,
+                    served: offered - failed - lp_shed,
+                    failed,
+                });
+            } else {
+                window_health.push(WindowHealth {
+                    offered,
+                    served: offered,
+                    failed: 0.0,
+                });
+            }
+        }
 
         Ok(LifecycleResult {
             policy: self.policy,
@@ -1369,6 +1772,15 @@ impl LifecycleSim {
             total_requests,
             total_operational,
             total_embodied,
+            failed_requests,
+            retried_ok_requests,
+            hedged_requests,
+            rerouted_requests,
+            brownout_requests,
+            low_priority_shed_requests,
+            total_retry_carbon,
+            window_health,
+            horizon_seconds: windows.len() as f64 * window_s,
         })
     }
 
@@ -1387,6 +1799,8 @@ impl LifecycleSim {
         plans: &[WindowAssignment],
         intensities: &[Vec<CarbonIntensity>],
         dynamics: &[Vec<DayDynamics>],
+        resolutions: Option<&[WindowResolution]>,
+        retry_grams: f64,
     ) -> Result<LifecycleCell, SimError> {
         let site = &self.sites[site_idx];
         let wpd = self.config.windows_per_day;
@@ -1395,6 +1809,7 @@ impl LifecycleSim {
 
         let mut requests = 0.0;
         let mut dropped_requests = 0.0;
+        let mut retry_carbon = GramsCo2e::ZERO;
         let mut operational = GramsCo2e::ZERO;
         let mut embodied = GramsCo2e::ZERO;
         let mut battery_replacements = 0;
@@ -1419,24 +1834,56 @@ impl LifecycleSim {
             devices_replaced += state.devices_replaced;
             let mut day_requests = 0.0;
             let mut day_operational = GramsCo2e::ZERO;
+            let mut day_retry = GramsCo2e::ZERO;
             for k in 0..wpd {
                 let w = day * wpd + k;
                 let window = &windows[w];
                 let (qps_start, qps_end) = plans[w].shares()[site_idx];
                 let mean_qps = (qps_start + qps_end) / 2.0;
-                let (utilization, median_ms, tail_ms, p99_ms, drop_fraction) = if mean_qps > 0.0 {
-                    let key = (qps_start.to_bits(), qps_end.to_bits());
+                // The window's resolved fault outcome at this site:
+                // delivered first-attempt ratio, true availability, and
+                // the retry/hedge/degradation traffic landed here. The
+                // fault-free defaults reduce every expression below to
+                // the plain path bit-for-bit.
+                let (ratio, avail, extra_mean, attempt_mean) = match resolutions {
+                    Some(res) => {
+                        let r = &res[w];
+                        (
+                            r.delivered_ratio[site_idx],
+                            r.avail[site_idx],
+                            r.extra_served_mean[site_idx],
+                            r.retry_attempt_mean[site_idx],
+                        )
+                    }
+                    None => (1.0, 1.0, 0.0, 0.0),
+                };
+                // The measured slice replays only the traffic actually
+                // delivered on first attempt: `ratio < 1.0` scales the
+                // endpoints (and thereby the memo key); the healthy
+                // branch leaves the original bits untouched.
+                let (eff_start, eff_end) = if ratio < 1.0 {
+                    (qps_start * ratio, qps_end * ratio)
+                } else {
+                    (qps_start, qps_end)
+                };
+                let eff_mean = (eff_start + eff_end) / 2.0;
+                let (utilization, median_ms, tail_ms, p99_ms, drop_fraction) = if eff_mean > 0.0 {
+                    let key = (eff_start.to_bits(), eff_end.to_bits());
                     let measured = if let Some(cached) = memo.get(&key) {
                         *cached
                     } else {
                         let seed =
                             decorrelate_seed(self.config.seed, (w * sites + site_idx) as u64 + 1);
-                        let measured = self.measure_slice(site, qps_start, qps_end, seed)?;
+                        let measured = self.measure_slice(site, eff_start, eff_end, seed)?;
                         memo.insert(key, measured);
                         measured
                     };
+                    // The alive *and available* devices do all the work:
+                    // the independent-failure scale is further inflated
+                    // by the fault availability (strictly positive here,
+                    // or nothing would have been delivered to measure).
                     (
-                        (measured.utilization * state.utilization_scale).min(1.0),
+                        (measured.utilization * (state.utilization_scale / avail)).min(1.0),
                         measured.median_ms,
                         measured.tail_ms,
                         measured.p99_ms,
@@ -1450,27 +1897,74 @@ impl LifecycleSim {
                 worst_p99_ms = worst_p99_ms.max(p99_ms);
                 // Battery-backed device energy earns the smart-charging
                 // scale; the overhead draw (fan, switch) has no battery
-                // to time-shift it and is billed at face value.
+                // to time-shift it and is billed at face value. During a
+                // fault, only the surviving fraction of devices draws
+                // power; a fully dark site loses its overhead draw too.
+                let idle_effective = if avail < 1.0 {
+                    state.idle_power * avail
+                } else {
+                    state.idle_power
+                };
+                let dynamic_effective = if avail < 1.0 {
+                    state.dynamic_power * avail
+                } else {
+                    state.dynamic_power
+                };
                 let device_energy =
-                    (state.idle_power + state.dynamic_power * utilization) * window.duration();
+                    (idle_effective + dynamic_effective * utilization) * window.duration();
                 let overhead_energy = state.overhead_power * window.duration();
                 let intensity = intensities[w][site_idx];
                 let op = intensity.emissions_for(device_energy) * state.operational_scale
-                    + intensity.emissions_for(overhead_energy);
+                    + if avail > 0.0 {
+                        intensity.emissions_for(overhead_energy)
+                    } else {
+                        GramsCo2e::ZERO
+                    };
                 day_operational += op;
                 // The day ledger and cell totals count *served* requests;
-                // the queue-dropped share is accumulated separately.
+                // the queue-dropped share is accumulated separately. Only
+                // the delivered first-attempt share passes through the
+                // site's queues; retry/degradation traffic landed here is
+                // added on top (its queueing is folded into the marginal
+                // retry-carbon charge below).
                 let offered = mean_qps * window.duration().seconds();
-                day_requests += offered * (1.0 - drop_fraction);
-                dropped_requests += offered * drop_fraction;
+                if ratio < 1.0 {
+                    day_requests += offered * ratio * (1.0 - drop_fraction);
+                    dropped_requests += offered * ratio * drop_fraction;
+                } else {
+                    day_requests += offered * (1.0 - drop_fraction);
+                    dropped_requests += offered * drop_fraction;
+                }
+                if extra_mean > 0.0 {
+                    day_requests += extra_mean * window.duration().seconds();
+                }
+                // Every retry/hedge attempt aimed here is charged its
+                // network carbon whether it landed or not; the extras
+                // that did land are charged the marginal compute of the
+                // surviving devices serving them.
+                if attempt_mean > 0.0 || extra_mean > 0.0 {
+                    let network =
+                        GramsCo2e::new(attempt_mean * window.duration().seconds() * retry_grams);
+                    let available_capacity = state.capacity_qps * avail;
+                    let extra_util = if available_capacity > 0.0 {
+                        (extra_mean / available_capacity).min(1.0)
+                    } else {
+                        0.0
+                    };
+                    let marginal = dynamic_effective * extra_util * window.duration();
+                    day_retry +=
+                        network + intensity.emissions_for(marginal) * state.operational_scale;
+                }
             }
             requests += day_requests;
             operational += day_operational;
+            retry_carbon += day_retry;
             embodied += state.embodied;
             daily.push(DayLedger {
                 requests: day_requests,
                 operational: day_operational,
                 embodied: state.embodied,
+                retry: day_retry,
             });
         }
 
@@ -1481,6 +1975,7 @@ impl LifecycleSim {
             dropped_requests,
             operational,
             embodied,
+            retry_carbon,
             battery_replacements,
             device_failures,
             devices_replaced,
@@ -1524,18 +2019,12 @@ impl LifecycleSim {
             .sum::<f64>()
             / nodes.len() as f64
             / 100.0;
-        let dropped = metrics.dropped_between(warm, warm + slice);
-        let measured = stats.count() + dropped;
         Ok(SliceMeasure {
             utilization,
             median_ms: stats.median_ms().unwrap_or(0.0),
             tail_ms: stats.tail_ms().unwrap_or(0.0),
             p99_ms: stats.p99_ms().unwrap_or(0.0),
-            drop_fraction: if measured == 0 {
-                0.0
-            } else {
-                dropped as f64 / measured as f64
-            },
+            drop_fraction: metrics.drop_fraction_between(warm, warm + slice),
         })
     }
 }
@@ -1543,6 +2032,7 @@ impl LifecycleSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::DegradationLadder;
     use crate::testutil::{flat_region, tiny_sim};
     use junkyard_grid::synth::CaisoSynthesizer;
 
@@ -1576,6 +2066,7 @@ mod tests {
         )
         .overhead_power(Watts::new(4.0))
         .failures(400.0, 5)
+        .unwrap()
     }
 
     fn leased_site(capacity: f64) -> LifecycleSite {
@@ -1798,5 +2289,198 @@ mod tests {
     #[should_panic(expected = "cohort power comes from its devices")]
     fn cohort_rejects_leased_builders() {
         let _ = cohort_site(1, 1).power(Watts::new(1.0), Watts::new(1.0));
+    }
+
+    #[test]
+    fn leased_failures_return_an_actionable_error_instead_of_panicking() {
+        let err = leased_site(500.0).failures(300.0, 4).unwrap_err();
+        assert!(
+            err.message().contains("cohort sites only"),
+            "unexpected message: {err}"
+        );
+        assert!(
+            err.message().contains("FaultConfig"),
+            "the error should point at the fault layer: {err}"
+        );
+        // Out-of-range parameters error too, on any backend.
+        let err = cohort_site(1, 2).failures(0.0, 4).unwrap_err();
+        assert!(err.message().contains("positive"), "got: {err}");
+        let err = cohort_site(1, 2).failures(f64::NAN, 4).unwrap_err();
+        assert!(err.message().contains("finite"), "got: {err}");
+    }
+
+    #[test]
+    fn disabled_faults_and_plain_resilience_are_bit_identical_to_baseline() {
+        let build = || {
+            LifecycleSim::new(
+                vec![cohort_site(9, 3), leased_site(700.0)],
+                DiurnalSchedule::office_day(700.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(1).horizon_days(30),
+            )
+        };
+        let baseline = build().run().unwrap();
+        let disabled = build().with_faults(FaultConfig::disabled()).run().unwrap();
+        assert_eq!(baseline, disabled);
+        // A resilience policy without faults and without a fallback site
+        // changes nothing either: lag and retries only matter once
+        // capacity can actually die.
+        let idle_policy = build()
+            .with_resilience(
+                ResiliencePolicy::new()
+                    .detection_lag_windows(2)
+                    .retry(crate::faults::RetryPolicy::new(2)),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(baseline, idle_policy);
+        assert_eq!(baseline.failed_requests(), 0.0);
+        assert!((baseline.availability() - 1.0).abs() < 1e-12);
+        assert_eq!(baseline.downtime_windows(0.999), 0);
+        assert_eq!(baseline.total_retry_carbon(), GramsCo2e::ZERO);
+    }
+
+    #[test]
+    fn stale_outages_fail_requests_and_an_omniscient_router_avoids_them() {
+        let faults = FaultConfig::disabled().grid_outages(5.0, 3);
+        let build = |lag: usize| {
+            LifecycleSim::new(
+                vec![cohort_site(9, 3), leased_site(700.0)],
+                DiurnalSchedule::office_day(900.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(1).horizon_days(40),
+            )
+            .with_faults(faults)
+            .with_resilience(ResiliencePolicy::new().detection_lag_windows(lag))
+        };
+        let stale = build(2).run().unwrap();
+        assert!(
+            stale.failed_requests() > 0.0,
+            "a 5-day outage MTBF over 40 days with a stale router must fail requests"
+        );
+        assert!(stale.availability() < 1.0);
+        assert!(!stale.window_success_rates().iter().all(|&r| r >= 1.0));
+        // Detection lag zero: the router sees the truth every window, so
+        // nothing lands on dead capacity and nothing fails.
+        let omniscient = build(0).run().unwrap();
+        assert_eq!(omniscient.failed_requests(), 0.0);
+        assert!((omniscient.availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_recover_requests_and_are_charged_their_carbon() {
+        let faults = FaultConfig::disabled().firmware_batches(4.0, 0.5, 2);
+        let build = |policy: ResiliencePolicy| {
+            LifecycleSim::new(
+                vec![cohort_site(9, 4), leased_site(900.0)],
+                DiurnalSchedule::office_day(1_000.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(1).horizon_days(40),
+            )
+            .with_faults(faults)
+            .with_resilience(policy)
+        };
+        let bare = build(ResiliencePolicy::new().detection_lag_windows(1))
+            .run()
+            .unwrap();
+        let retrying = build(
+            ResiliencePolicy::new()
+                .detection_lag_windows(1)
+                .retry(crate::faults::RetryPolicy::new(3)),
+        )
+        .run()
+        .unwrap();
+        assert!(bare.failed_requests() > 0.0);
+        assert!(
+            retrying.failed_requests() < bare.failed_requests(),
+            "retries must recover some failures: {} vs {}",
+            retrying.failed_requests(),
+            bare.failed_requests()
+        );
+        assert!(retrying.retried_ok_requests() > 0.0);
+        assert!(
+            retrying.total_retry_carbon().grams() > 0.0,
+            "every retry attempt must be charged"
+        );
+        assert_eq!(bare.total_retry_carbon(), GramsCo2e::ZERO);
+    }
+
+    #[test]
+    fn degradation_ladder_trades_failures_for_shed_and_brownout() {
+        let faults = FaultConfig::disabled().thermal_shutdowns(6.0, 2);
+        let build = |policy: ResiliencePolicy| {
+            LifecycleSim::new(
+                vec![cohort_site(9, 4), leased_site(400.0)],
+                DiurnalSchedule::office_day(1_100.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(1).horizon_days(40),
+            )
+            .with_faults(faults)
+            .with_resilience(policy)
+        };
+        let bare = build(ResiliencePolicy::new().detection_lag_windows(1))
+            .run()
+            .unwrap();
+        let degraded = build(
+            ResiliencePolicy::new()
+                .detection_lag_windows(1)
+                .degradation(
+                    DegradationLadder::new()
+                        .shed_low_priority(0.5)
+                        .brownout(1.3),
+                ),
+        )
+        .run()
+        .unwrap();
+        assert!(bare.failed_requests() > 0.0);
+        assert!(degraded.failed_requests() < bare.failed_requests());
+        assert!(
+            degraded.low_priority_shed_requests() > 0.0
+                || degraded.brownout_requests() > 0.0
+                || degraded.rerouted_requests() > 0.0,
+            "the ladder must have done something"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_conserve_offered_demand_and_stay_deterministic() {
+        let faults = FaultConfig::disabled()
+            .grid_outages(7.0, 2)
+            .firmware_batches(5.0, 0.4, 3);
+        let build = |workers: usize| {
+            LifecycleSim::new(
+                vec![cohort_site(9, 3), leased_site(600.0)],
+                DiurnalSchedule::office_day(800.0),
+                RoutingPolicy::carbon_aware(),
+                quick_config(1).horizon_days(35).parallelism(workers),
+            )
+            .with_faults(faults)
+            .with_resilience(
+                ResiliencePolicy::new()
+                    .detection_lag_windows(1)
+                    .retry(crate::faults::RetryPolicy::new(2).hedge_to_fallback())
+                    .degradation(DegradationLadder::new().shed_low_priority(0.3))
+                    .fallback_site(1),
+            )
+        };
+        let serial = build(1).run().unwrap();
+        // Conservation: everything the schedule offered lands in exactly
+        // one bucket.
+        let schedule_offered: f64 = serial
+            .window_health()
+            .iter()
+            .map(WindowHealth::offered)
+            .sum::<f64>()
+            + serial.router_declined_requests();
+        let accounted = serial.offered_requests();
+        assert!(
+            (schedule_offered - accounted).abs() <= 1e-6 * schedule_offered.max(1.0),
+            "conservation: offered {schedule_offered} vs accounted {accounted}"
+        );
+        assert!(serial.goodput_qps() > 0.0);
+        // And the faulty path keeps the slot-pattern determinism.
+        for workers in [2, 5] {
+            assert_eq!(serial, build(workers).run().unwrap(), "workers {workers}");
+        }
     }
 }

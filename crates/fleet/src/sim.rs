@@ -588,14 +588,8 @@ impl FleetSim {
                 / nodes.len() as f64
                 / 100.0;
             // The slice's drop share extrapolates to the window the same
-            // way latency and utilisation do.
-            let dropped = metrics.dropped_between(warm, warm + slice);
-            let measured = stats.count() + dropped;
-            let drop_fraction = if measured == 0 {
-                0.0
-            } else {
-                dropped as f64 / measured as f64
-            };
+            // way latency and utilisation do (0.0 for zero-offered slices).
+            let drop_fraction = metrics.drop_fraction_between(warm, warm + slice);
             (
                 utilization,
                 stats.median_ms().unwrap_or(0.0),

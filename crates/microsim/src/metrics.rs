@@ -411,6 +411,27 @@ impl RunMetrics {
         }
     }
 
+    /// Fraction of the requests that *arrived* in `[from, to)` seconds
+    /// which were terminated by a queue drop — the slice-local companion
+    /// of [`RunMetrics::drop_fraction`] for skipping warm-up. An empty
+    /// slice (nothing arrived) reports `0.0` rather than `NaN`, so
+    /// zero-offered windows never poison downstream extrapolation.
+    #[must_use]
+    pub fn drop_fraction_between(&self, from_s: f64, to_s: f64) -> f64 {
+        let completed = self
+            .completions
+            .iter()
+            .filter(|c| c.arrival_s() >= from_s && c.arrival_s() < to_s)
+            .count();
+        let dropped = self.dropped_between(from_s, to_s);
+        let measured = completed + dropped;
+        if measured == 0 {
+            0.0
+        } else {
+            dropped as f64 / measured as f64
+        }
+    }
+
     /// Per-node queue counters (arrived / served / dropped per queue).
     #[must_use]
     pub fn queue_stats(&self) -> &[NodeQueueStats] {

@@ -419,7 +419,9 @@ impl FleetEvaluator {
             .overhead_power(self.site_overhead_power)
             .charge_policy(SmartChargePolicy::new(floor, CHARGE_HEADROOM));
         if self.mtbf_days > 0.0 {
-            site = site.failures(self.mtbf_days, self.space.refill_lag_of(candidate));
+            site = site
+                .failures(self.mtbf_days, self.space.refill_lag_of(candidate))
+                .map_err(|e| EvalError::Build(e.to_string()))?;
         }
         if let Some(request_type) = &self.request_type {
             site = site.request_type(request_type.clone());

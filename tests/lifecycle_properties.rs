@@ -54,6 +54,7 @@ fn cohort_site(seed: u64, devices: usize, capacity: f64) -> LifecycleSite {
     )
     .overhead_power(Watts::new(2.0))
     .failures(300.0, 4)
+    .unwrap()
 }
 
 fn leased_site(capacity: f64) -> LifecycleSite {
