@@ -266,7 +266,8 @@ impl LifecycleStudy {
             + GramsCo2e::from_kilograms(FAN_EMBODIED_KG);
 
         let site =
-            LifecycleSite::cohort(name, &sim, GridRegion::new(name, trace), devices, install)
+            LifecycleSite::try_cohort(name, &sim, GridRegion::new(name, trace), devices, install)
+                .map_err(DeploymentError::SiteConfig)?
                 .request_type(SN_COMPOSE_POST)
                 .overhead_power(Watts::new(FAN_WATTS))
                 .failures(self.mean_days_between_failures, self.replacement_lag_days)
@@ -290,12 +291,13 @@ impl LifecycleStudy {
             TimeSpan::from_hours(1.0),
             TimeSpan::from_days(1.0),
         );
-        Ok(LifecycleSite::leased(
+        Ok(LifecycleSite::try_leased(
             name,
             &sim,
             GridRegion::new("gas-heavy", trace),
             CloudletWorkload::SocialNetworkWrite.paper_c5_9xlarge_qps(),
         )
+        .map_err(DeploymentError::SiteConfig)?
         .request_type(SN_COMPOSE_POST)
         .power(Watts::new(120.0), Watts::new(90.0))
         .embodied(c5.embodied(), TimeSpan::from_years(4.0)))

@@ -229,9 +229,38 @@ impl LifecycleSite {
         devices: Vec<CohortDevice>,
         install_embodied: GramsCo2e,
     ) -> Self {
-        assert!(!devices.is_empty(), "a cohort needs at least one device");
-        Self::assert_whole_days(&region);
-        Self {
+        match Self::try_cohort(name, sim, region, devices, install_embodied) {
+            Ok(site) => site,
+            // lint:allow(panic-in-library): the documented panicking
+            // facade over `try_cohort`, kept for tests and examples.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LifecycleSite::cohort`]: returns a typed
+    /// [`SiteConfigError`] instead of panicking, for user-reachable
+    /// configuration paths (study configs, the planner's search space).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cohort is empty, the region's trace does
+    /// not cover a whole number of days (at least one), or the trace
+    /// contains a non-finite intensity sample.
+    pub fn try_cohort(
+        name: impl Into<String>,
+        sim: &Simulation,
+        region: GridRegion,
+        devices: Vec<CohortDevice>,
+        install_embodied: GramsCo2e,
+    ) -> Result<Self, SiteConfigError> {
+        if devices.is_empty() {
+            return Err(SiteConfigError::new(
+                "a cohort needs at least one device — add CohortDevice entries or use a \
+                 leased site",
+            ));
+        }
+        Self::check_region(&region)?;
+        Ok(Self {
             name: name.into(),
             sim: sim.compile(),
             request_type: None,
@@ -244,7 +273,7 @@ impl LifecycleSite {
                 mean_days_between_failures: 0.0,
                 replacement_lag_days: 0,
             },
-        }
+        })
     }
 
     /// Creates a leased site (the datacenter backend): fixed
@@ -262,9 +291,35 @@ impl LifecycleSite {
         region: GridRegion,
         capacity_qps: f64,
     ) -> Self {
-        assert!(capacity_qps > 0.0, "site capacity must be positive");
-        Self::assert_whole_days(&region);
-        Self {
+        match Self::try_leased(name, sim, region, capacity_qps) {
+            Ok(site) => site,
+            // lint:allow(panic-in-library): the documented panicking
+            // facade over `try_leased`, kept for tests and examples.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LifecycleSite::leased`]: returns a typed
+    /// [`SiteConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the capacity is not strictly positive and
+    /// finite, the region's trace does not cover a whole number of days,
+    /// or the trace contains a non-finite intensity sample.
+    pub fn try_leased(
+        name: impl Into<String>,
+        sim: &Simulation,
+        region: GridRegion,
+        capacity_qps: f64,
+    ) -> Result<Self, SiteConfigError> {
+        if !(capacity_qps > 0.0 && capacity_qps.is_finite()) {
+            return Err(SiteConfigError::new(format!(
+                "site capacity must be positive and finite, got {capacity_qps}"
+            )));
+        }
+        Self::check_region(&region)?;
+        Ok(Self {
             name: name.into(),
             sim: sim.compile(),
             request_type: None,
@@ -276,15 +331,31 @@ impl LifecycleSite {
                 embodied: GramsCo2e::ZERO,
                 amortization: TimeSpan::from_years(3.0),
             },
-        }
+        })
     }
 
-    fn assert_whole_days(region: &GridRegion) {
+    /// Shared `try_*` validation: whole-day trace coverage (periodic day
+    /// tiling and sample-level wrap-around of window means must agree
+    /// over a multi-year horizon) and finite intensity samples.
+    fn check_region(region: &GridRegion) -> Result<(), SiteConfigError> {
         let days = region.trace().duration().seconds() / TimeSpan::from_days(1.0).seconds();
-        assert!(
-            days >= 1.0 - 1e-9 && (days - days.round()).abs() < 1e-9,
-            "a lifecycle region trace must cover a whole number of days, got {days}"
-        );
+        if !(days >= 1.0 - 1e-9 && (days - days.round()).abs() < 1e-9) {
+            return Err(SiteConfigError::new(format!(
+                "a lifecycle region trace must cover a whole number of days, got {days}"
+            )));
+        }
+        if let Some(pos) = region
+            .trace()
+            .values()
+            .iter()
+            .position(|v| !v.grams_per_kwh().is_finite())
+        {
+            return Err(SiteConfigError::new(format!(
+                "region trace sample {pos} is not finite — carbon accounting would poison \
+                 every window mean"
+            )));
+        }
+        Ok(())
     }
 
     /// Restricts the site's workload to a single request type.
@@ -858,6 +929,9 @@ impl WindowHealth {
 
 /// Result of a lifecycle run: the (year, site) accounting grid, a
 /// fleet-wide per-day ledger and lifetime totals.
+///
+/// lint: conserved — every numeric field below must be pinned by a test
+/// under `tests/` (the conservation audit fails otherwise).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LifecycleResult {
     policy: RoutingPolicy,
@@ -1805,6 +1879,9 @@ impl LifecycleSim {
         let site = &self.sites[site_idx];
         let wpd = self.config.windows_per_day;
         let sites = self.sites.len();
+        // lint:allow(nondeterministic-iteration): lookup-only — slices
+        // are memoised by exact (start, end) bit pattern and never
+        // iterated; window order drives the accumulation.
         let mut memo: HashMap<(u64, u64), SliceMeasure> = HashMap::new();
 
         let mut requests = 0.0;

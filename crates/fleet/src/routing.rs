@@ -215,11 +215,7 @@ pub fn plan_window_inputs(
                 .enumerate()
                 .map(|(i, s)| (i, s.intensity.grams_per_kwh()))
                 .collect();
-            order.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("intensities are finite")
-                    .then(a.0.cmp(&b.0))
-            });
+            order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let mut fractions = vec![0.0; sites.len()];
             let mut remaining = peak;
             for (index, _) in order {

@@ -245,6 +245,9 @@ impl FleetCell {
 }
 
 /// Result of a fleet run: the full accounting grid plus totals.
+///
+/// lint: conserved — every numeric field below must be pinned by a test
+/// under `tests/` (the conservation audit fails otherwise).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetResult {
     policy: RoutingPolicy,

@@ -1,0 +1,425 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The lexer splits a source file into a sequence of [`Token`]s that
+//! *tile* the input exactly: concatenating every token's text reproduces
+//! the source byte-for-byte (the round-trip property the proptest suite
+//! pins). It understands everything that can hide a false match from a
+//! naive substring scan — line and nested block comments, string and
+//! raw-string literals (with byte/C prefixes and arbitrary `#` fences),
+//! char literals versus lifetimes — so the rule engine can reason about
+//! *code* tokens only and read *comments* only where it wants to (the
+//! `lint:allow` suppressions and the `lint: conserved` struct marks).
+//!
+//! It is deliberately not a full Rust grammar: it never fails, never
+//! panics, and degrades to [`TokenKind::Unknown`] on anything it does not
+//! recognise. Malformed input (an unterminated string at end of file)
+//! simply becomes one final token stretching to the end.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* ... */`, nesting respected; unterminated runs to end of file.
+    BlockComment,
+    /// An identifier or keyword.
+    Ident,
+    /// A lifetime or loop label such as `'a` (not a char literal).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A `"..."` string (or byte/C string) literal, escapes respected.
+    Str,
+    /// A raw (byte/C) string literal with its `#` fences.
+    RawStr,
+    /// A char or byte-char literal such as `'x'` or `b'\n'`.
+    Char,
+    /// A single punctuation byte.
+    Punct,
+    /// Anything else (stray non-ASCII, malformed literal tail).
+    Unknown,
+}
+
+/// One token: a kind plus the byte range it occupies in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Whether `byte` can start an identifier. Non-ASCII bytes count as
+/// identifier bytes so multi-byte UTF-8 sequences are never split across
+/// token boundaries (Rust permits non-ASCII identifiers).
+fn is_ident_start(byte: u8) -> bool {
+    byte.is_ascii_alphabetic() || byte == b'_' || byte >= 0x80
+}
+
+/// Whether `byte` can continue an identifier.
+fn is_ident_continue(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_' || byte >= 0x80
+}
+
+/// Lexes `src` into tokens that tile it exactly. Never panics.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            // Forward progress is guaranteed: every branch of `next_kind`
+            // consumes at least one byte, so the loop terminates.
+            debug_assert!(self.pos > start);
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Consumes the whole UTF-8 code point starting at the cursor, so a
+    /// token boundary never lands inside a multi-byte sequence.
+    fn bump_char(&mut self) {
+        self.bump();
+        while self.peek(0).is_some_and(|b| (0x80..0xC0).contains(&b)) {
+            self.pos += 1;
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let byte = self.src[self.pos];
+        match byte {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while self
+                    .peek(0)
+                    .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+                {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.bump();
+                        self.bump();
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.bump();
+                        self.bump();
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'\'' => self.lifetime_or_char(),
+            b'"' => self.string(),
+            _ if byte.is_ascii_digit() => self.number(),
+            _ if is_ident_start(byte) => self.ident_or_prefixed_literal(),
+            // `::` is one token: the rules must tell a path separator
+            // from a field-declaration `:` without reassembling pairs.
+            b':' if self.peek(1) == Some(b':') => {
+                self.bump();
+                self.bump();
+                TokenKind::Punct
+            }
+            _ => {
+                self.bump_char();
+                if byte.is_ascii() {
+                    TokenKind::Punct
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime / loop label) from `'a'` (char
+    /// literal). Called with the cursor on the opening quote.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        // An escape is always a char literal: '\n', '\u{1F600}', '\''.
+        if self.peek(1) == Some(b'\\') {
+            return self.char_literal();
+        }
+        match self.peek(1) {
+            Some(next) if is_ident_start(next) => {
+                // Find the end of the identifier run after the quote; a
+                // closing quote right after makes it a char literal
+                // ('a', 'é'), anything else a lifetime ('a, 'static).
+                let mut probe = self.pos + 2;
+                while self.src.get(probe).copied().is_some_and(is_ident_continue) {
+                    probe += 1;
+                }
+                if self.src.get(probe) == Some(&b'\'') {
+                    self.char_literal()
+                } else {
+                    self.bump(); // the quote
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump_char();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            // Covers '}' and friends: punctuation, then the close quote.
+            Some(_) => self.char_literal(),
+            None => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// Consumes a char literal from the opening quote; unterminated
+    /// literals stop at end of line (chars cannot span lines).
+    fn char_literal(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                b'\n' => return TokenKind::Unknown,
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::Unknown
+    }
+
+    /// Consumes a `"..."` literal from the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::Str // unterminated: runs to end of file
+    }
+
+    /// Consumes a raw string `r#"..."#` with the cursor on the first `#`
+    /// or `"` after the prefix letters (which the caller already took).
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier: the `#`s were consumed, the ident
+            // follows. Classify the whole thing as an identifier.
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+            return TokenKind::Ident;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'"') {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump(); // quote
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return TokenKind::RawStr;
+                }
+            }
+            self.bump_char();
+        }
+        TokenKind::RawStr // unterminated: runs to end of file
+    }
+
+    /// Consumes an identifier, or a literal introduced by a prefix
+    /// (`r"..."`, `b"..."`, `br#"..."#`, `c"..."`, `b'x'`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump_char();
+        }
+        let ident = &self.src[start..self.pos];
+        match self.peek(0) {
+            Some(b'"' | b'#') if matches!(ident, b"r" | b"br" | b"cr") => self.raw_string(),
+            Some(b'"') if matches!(ident, b"b" | b"c") => self.string(),
+            Some(b'\'') if ident == b"b" => self.char_literal(),
+            _ => TokenKind::Ident,
+        }
+    }
+
+    /// Consumes a numeric literal (integer or float, any base, suffixes
+    /// and underscores included). `1..x` range syntax keeps its dots.
+    fn number(&mut self) -> TokenKind {
+        while let Some(byte) = self.peek(0) {
+            if byte.is_ascii_alphanumeric() || byte == b'_' {
+                let at_exponent = matches!(byte, b'e' | b'E')
+                    && matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|b| b.is_ascii_digit());
+                self.bump();
+                if at_exponent {
+                    self.bump(); // the sign
+                }
+            } else if byte == b'.'
+                && self.peek(1) != Some(b'.')
+                && self.peek(1).is_none_or(|b| !is_ident_start(b))
+            {
+                // A decimal point — but not `..` (range) and not `.method()`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reassemble(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn tokens_tile_the_source() {
+        let src = r##"
+            // a comment with "a string" and 'c'
+            fn main() { let s = "braces { } // not a comment"; }
+            /* nested /* block */ still comment */ let r = r#"raw "quoted" text"#;
+            let c = 'x'; let esc = '\''; let life: &'static str = "s";
+            let b = b"bytes"; let bc = b'\n'; let n = 1_000.5e-3f64; let range = 0..10;
+        "##;
+        assert_eq!(reassemble(src), src);
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let src = "let x = \"// not a comment\"; // real";
+        let kinds: Vec<TokenKind> = lex(src)
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Whitespace))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Str,
+                TokenKind::Punct,
+                TokenKind::LineComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert!(lex(src).iter().any(|t| t.kind == TokenKind::Lifetime));
+        assert!(lex(src).iter().all(|t| t.kind != TokenKind::Char));
+    }
+
+    #[test]
+    fn unterminated_input_never_panics() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b'", "'\\", "r#"] {
+            assert_eq!(reassemble(src), src, "lossless on {src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let src = "a\nb\n  c";
+        let idents: Vec<(String, u32)> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The `junkyard_lint` binary: scans the workspace, prints the human
+//! report, writes `LINT_report.json` at the workspace root, and exits
+//! non-zero when the determinism & conservation gate fails. CI runs this
+//! as a hard gate after the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use junkyard_lint::baseline::Baseline;
+use junkyard_lint::engine::{analyze, Config};
+use junkyard_lint::report;
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--contract") {
+        print!("{}", report::contract());
+        return ExitCode::SUCCESS;
+    }
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("junkyard_lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    // The workspace root: two levels above this crate's manifest, unless
+    // the test harness points the scan somewhere else.
+    let root = match std::env::var_os("JUNKYARD_LINT_ROOT") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join(".."),
+    };
+    let baseline_path = root.join("lint_baseline.json");
+    let baseline_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "reading {} (the ratchet baseline is committed; create it with empty ratchets \
+             if starting fresh): {e}",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = Baseline::parse(&baseline_text)
+        .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+
+    let analysis = analyze(&root, &Config::junkyard(), &baseline)?;
+
+    let report_path = root.join("LINT_report.json");
+    std::fs::write(&report_path, report::json(&analysis))
+        .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+
+    print!("{}", report::human(&analysis));
+    Ok(analysis.passed())
+}

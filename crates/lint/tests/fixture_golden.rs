@@ -1,0 +1,124 @@
+//! Golden test over the committed fixture tree: every rule fires where
+//! expected, every suppression suppresses, stale and malformed markers
+//! are reported, and the ratchet rejects any count increase.
+
+use std::path::Path;
+
+use junkyard_lint::baseline::Baseline;
+use junkyard_lint::engine::{analyze, Analysis, Config};
+use junkyard_lint::rules::RuleId;
+
+const LIB: &str = "crates/x/src/lib.rs";
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/demo"))
+}
+
+fn fixture_config() -> Config {
+    let mut config = Config::junkyard();
+    config.cast_prefixes = vec!["crates/x/src/".to_string()];
+    config
+}
+
+fn run(baseline_json: &str) -> Analysis {
+    let baseline = Baseline::parse(baseline_json).expect("fixture baseline parses");
+    analyze(fixture_root(), &fixture_config(), &baseline).expect("fixture tree analyzes")
+}
+
+/// The exact fixture baseline: the counts the fixture is committed at.
+const EXACT: &str = r#"{"schema":1,"ratchets":{"panic-in-library":1,"unchecked-cast":2}}"#;
+
+/// The (line, suppressed) signature of every finding of one rule in the
+/// fixture library file.
+fn lines_of(analysis: &Analysis, rule: RuleId) -> Vec<(u32, bool)> {
+    analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.path == LIB)
+        .map(|f| (f.line, f.suppressed.is_some()))
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_and_every_suppression_suppresses() {
+    let analysis = run(EXACT);
+
+    // Rule 1: declaration sites and the iteration call site fire; the
+    // reasoned allow over `probe` suppresses its declaration.
+    assert_eq!(
+        lines_of(&analysis, RuleId::NondeterministicIteration),
+        vec![(8, false), (9, false), (13, true)]
+    );
+
+    // Rule 2: the bare `Instant::now` fires; the one-liner under the
+    // allow is suppressed (two mentions on one line dedup to one).
+    assert_eq!(
+        lines_of(&analysis, RuleId::WallClockInSim),
+        vec![(18, false), (23, true)]
+    );
+
+    // Rule 3: entropy-seeded RNG fires; test code stays quiet.
+    assert_eq!(lines_of(&analysis, RuleId::AmbientRng), vec![(26, false)]);
+
+    // Rule 4: `.unwrap()` fires; the allowed `.expect(` is suppressed.
+    assert_eq!(
+        lines_of(&analysis, RuleId::PanicInLibrary),
+        vec![(31, false), (35, true)]
+    );
+
+    // Rule 5: both bare casts fire (the reasonless marker on line 45
+    // suppresses nothing); the trailing allow on line 42 works.
+    assert_eq!(
+        lines_of(&analysis, RuleId::UncheckedCast),
+        vec![(38, false), (42, true), (47, false)]
+    );
+
+    // Rule 6: `pinned_total` is referenced by the fixture's tests/, so
+    // only `forgotten_total` escapes.
+    let conservation = lines_of(&analysis, RuleId::ConservationAudit);
+    assert_eq!(conservation, vec![(61, false)]);
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == RuleId::ConservationAudit && f.message.contains("forgotten_total")));
+
+    // Meta-rule: the reasonless marker and the unknown rule name are
+    // both findings; the stale-but-valid allow is only a note.
+    assert_eq!(
+        lines_of(&analysis, RuleId::MalformedSuppression),
+        vec![(45, false), (50, false)]
+    );
+    assert_eq!(analysis.unused_suppressions.len(), 1);
+    assert_eq!(analysis.unused_suppressions[0].path, LIB);
+    assert_eq!(analysis.unused_suppressions[0].line, 53);
+    assert_eq!(analysis.unused_suppressions[0].rule, "ambient-rng");
+
+    // Test code fired nothing: every finding sits outside the
+    // `#[cfg(test)]` module (first line 64).
+    assert!(analysis.findings.iter().all(|f| f.line < 64));
+}
+
+#[test]
+fn ratchet_accepts_exact_counts_and_rejects_increases() {
+    // At the committed counts, both ratchets hold (the fixture still
+    // fails overall on its zero-tolerance actives — that is the point
+    // of the fixture, not of the ratchet).
+    let at_baseline = run(EXACT);
+    assert!(!at_baseline.stats_for(RuleId::PanicInLibrary).failed());
+    assert!(!at_baseline.stats_for(RuleId::UncheckedCast).failed());
+    assert!(!at_baseline.passed());
+
+    // One fewer allowed panic: the same tree now exceeds the ratchet.
+    let tightened = run(r#"{"schema":1,"ratchets":{"panic-in-library":0,"unchecked-cast":2}}"#);
+    assert!(tightened.stats_for(RuleId::PanicInLibrary).failed());
+    assert!(!tightened.stats_for(RuleId::UncheckedCast).failed());
+
+    // A missing ratchet entry means zero tolerance for that rule.
+    let missing = run(r#"{"schema":1,"ratchets":{"panic-in-library":1}}"#);
+    assert!(missing.stats_for(RuleId::UncheckedCast).failed());
+
+    // A generous allowance passes the ratchet and reports headroom.
+    let slack = run(r#"{"schema":1,"ratchets":{"panic-in-library":9,"unchecked-cast":9}}"#);
+    assert!(!slack.stats_for(RuleId::PanicInLibrary).failed());
+    assert_eq!(slack.stats_for(RuleId::PanicInLibrary).baseline, Some(9));
+}

@@ -1,0 +1,78 @@
+//! Golden fixture: every junkyard_lint rule fires here at least once,
+//! every suppressible rule is also suppressed once, and test code shows
+//! the rules staying quiet. This file is never compiled — the fixture
+//! test points the engine at this tree and asserts the exact findings.
+
+use std::collections::HashMap;
+
+pub fn tally(votes: &HashMap<String, u64>) -> u64 {
+    votes.values().sum()
+}
+
+// lint:allow(nondeterministic-iteration): lookup-only fixture map
+pub fn probe(cache: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    cache.get(&key).copied()
+}
+
+pub fn wall_elapsed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}
+
+// lint:allow(wall-clock-in-sim): fixture demonstrates suppression
+pub fn stamp() -> std::time::Instant { std::time::Instant::now() }
+
+pub fn seed_from_air() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+// lint:allow(panic-in-library): fixture documents the invariant
+pub fn must_too(v: Option<u64>) -> u64 { v.expect("fixture") }
+
+pub fn shrink(x: f64) -> u32 {
+    x as u32
+}
+
+pub fn idx(x: u64) -> usize {
+    x as usize // lint:allow(unchecked-cast): fixture index is in range
+}
+
+// lint:allow(unchecked-cast)
+pub fn truncate(x: f64) -> u32 {
+    x as u32
+}
+
+// lint:allow(made-up-rule): this rule does not exist
+pub fn unknown_rule_marker() {}
+
+// lint:allow(ambient-rng): stale — the next line draws no entropy
+pub fn stale_allow() {}
+
+/// Fixture accounting totals.
+///
+/// lint: conserved
+pub struct Totals {
+    pub pinned_total: f64,
+    pub forgotten_total: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut s = HashSet::new();
+        s.insert(1u8);
+        for x in s {
+            let _ = x;
+        }
+        let _ = Option::<u8>::None.unwrap_or(0);
+        let _ = 1.5_f64 as u32;
+    }
+}

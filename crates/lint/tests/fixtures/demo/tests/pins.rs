@@ -1,0 +1,8 @@
+//! Fixture test corpus: pins `Totals.pinned_total` (and only it) so the
+//! conservation audit flags `forgotten_total` alone.
+
+#[test]
+fn pins_one_conserved_field() {
+    let pinned_total = 1.0_f64;
+    assert!(pinned_total > 0.0);
+}

@@ -1,0 +1,146 @@
+//! Property tests on the lexer: for ANY input — valid Rust, truncated
+//! Rust, or byte noise — lexing never panics and the token stream tiles
+//! the input byte-for-byte (lossless reassembly). The vendored proptest
+//! only supplies numeric strategies, so inputs are derived from sampled
+//! seeds through a small deterministic generator.
+
+use junkyard_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// A tiny deterministic PRNG (splitmix64) so each sampled seed expands
+/// into one reproducible input string.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[(self.next() % options.len() as u64) as usize]
+    }
+}
+
+/// Fragments chosen to hit every lexer mode and its edge cases: string
+/// and raw-string fences, char-vs-lifetime ambiguity, nested block
+/// comments, markers hidden inside literals, and unterminated openers.
+const FRAGMENTS: &[&str] = &[
+    "fn main() { let x = 1; }",
+    "\"a string with // no comment\"",
+    "\"escaped \\\" quote\"",
+    "r#\"raw \"quoted\" text\"#",
+    "r##\"##outer fence\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "c\"c string\"",
+    "'c'",
+    "'\\n'",
+    "'\\''",
+    "'static",
+    "&'a str",
+    "<'a>",
+    "// line comment\n",
+    "/// doc lint:allow(panic-in-library): not real\n",
+    "/* block */",
+    "/* nested /* inner */ outer */",
+    "/* unterminated",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "::",
+    ":",
+    "x as u32",
+    "1_000.5e-3",
+    "0xdead_beef",
+    "#[cfg(test)]",
+    "macro_rules! m { () => {} }",
+    "let map: HashMap<u64, u64> = HashMap::new();",
+    "\u{1F980} unicode \u{00e9}",
+    "\n\t  \r\n",
+    "'",
+    "\"",
+    "\\",
+    "r#",
+];
+
+/// Arbitrary byte noise, lossily decoded so it is a valid &str with
+/// plenty of replacement characters and truncated sequences.
+fn noise(gen: &mut Gen, len: usize) -> String {
+    let bytes: Vec<u8> = (0..len).map(|_| (gen.next() & 0xff) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// The reassembly property plus stream sanity: tokens are contiguous,
+/// non-empty, and line numbers never decrease.
+fn assert_lossless(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    let mut line = 1u32;
+    let mut rebuilt = String::with_capacity(src.len());
+    for token in &tokens {
+        assert_eq!(token.start, cursor, "tokens tile without gaps");
+        assert!(token.end > token.start, "no empty tokens");
+        assert!(token.line >= line, "line numbers are monotone");
+        line = token.line;
+        rebuilt.push_str(token.text(src));
+        cursor = token.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens cover the whole input");
+    assert_eq!(rebuilt, src, "reassembly is byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Random compositions of edge-case fragments lex losslessly.
+    #[test]
+    fn fragment_compositions_reassemble(seed in 0u64..1_000_000, parts in 1usize..24) {
+        let mut gen = Gen(seed);
+        let mut src = String::new();
+        for _ in 0..parts {
+            src.push_str(gen.pick(FRAGMENTS));
+            src.push_str(gen.pick(&[" ", "", "\n"]));
+        }
+        assert_lossless(&src);
+    }
+
+    /// Pure byte noise (lossily decoded) never panics and reassembles.
+    #[test]
+    fn byte_noise_reassembles(seed in 0u64..1_000_000, len in 0usize..300) {
+        let mut gen = Gen(seed);
+        assert_lossless(&noise(&mut gen, len));
+    }
+
+    /// Every prefix of a composed input lexes too: truncation mid-token
+    /// (unterminated strings, half surrogates, dangling `r#`) is safe.
+    #[test]
+    fn truncations_are_safe(seed in 0u64..1_000_000) {
+        let mut gen = Gen(seed);
+        let mut src = String::new();
+        for _ in 0..6 {
+            src.push_str(gen.pick(FRAGMENTS));
+        }
+        let mut cut = (gen.next() % (src.len() as u64 + 1)) as usize;
+        while !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        assert_lossless(&src[..cut]);
+    }
+}
+
+/// Comment markers hidden inside literals never become trivia: anything
+/// the suppression parser sees as a comment really is one.
+#[test]
+fn literals_never_leak_comment_markers() {
+    let src = "let a = \"// not a comment /* nor this */\"; let b = r#\"// raw\"#;";
+    for token in lex(src) {
+        assert!(
+            !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment),
+            "literal content misread as a comment: {:?}",
+            token.text(src)
+        );
+    }
+}

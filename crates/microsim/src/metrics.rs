@@ -291,6 +291,9 @@ impl CompletedRequest {
 }
 
 /// Full result of one simulation run.
+///
+/// lint: conserved — every numeric field below must be pinned by a test
+/// under `tests/` (the conservation audit fails otherwise).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     duration_s: f64,

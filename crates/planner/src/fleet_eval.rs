@@ -415,9 +415,11 @@ impl FleetEvaluator {
             install = install * (horizon.seconds() / lifetime.seconds()).min(1.0);
         }
         let floor = self.space.charge_floor_of(candidate);
-        let mut site = LifecycleSite::cohort(region.name(), sim, region.clone(), devices, install)
-            .overhead_power(self.site_overhead_power)
-            .charge_policy(SmartChargePolicy::new(floor, CHARGE_HEADROOM));
+        let mut site =
+            LifecycleSite::try_cohort(region.name(), sim, region.clone(), devices, install)
+                .map_err(|e| EvalError::Build(e.to_string()))?
+                .overhead_power(self.site_overhead_power)
+                .charge_policy(SmartChargePolicy::new(floor, CHARGE_HEADROOM));
         if self.mtbf_days > 0.0 {
             site = site
                 .failures(self.mtbf_days, self.space.refill_lag_of(candidate))
@@ -436,12 +438,13 @@ impl FleetEvaluator {
                 "candidate wants a leased fallback but no blueprint is registered".to_owned(),
             )
         })?;
-        let mut site = LifecycleSite::leased(
+        let mut site = LifecycleSite::try_leased(
             blueprint.name.clone(),
             &blueprint.sim,
             blueprint.region.clone(),
             blueprint.capacity_qps * share,
         )
+        .map_err(|e| EvalError::Build(e.to_string()))?
         .power(
             blueprint.idle_power * share,
             blueprint.dynamic_power * share,

@@ -48,8 +48,11 @@ pub fn pareto_indices(objectives: &[Objectives]) -> Vec<usize> {
     }
     frontier.sort_by(|&a, &b| {
         objectives[a]
-            .partial_cmp(&objectives[b])
-            .expect("objectives are finite")
+            .iter()
+            .zip(objectives[b].iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|c| !c.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
     frontier
