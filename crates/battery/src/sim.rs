@@ -11,6 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{count_f64, counts_ratio};
 use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, TimeSpan, Watts};
 use junkyard_devices::battery::BatterySpec;
 use junkyard_grid::trace::IntensityTrace;
@@ -95,7 +96,9 @@ impl SmartChargingConfig {
         let mut previous_stats: Option<DayStats> = None;
 
         for day_index in 0..day_count {
-            let day_trace = trace.day(day_index).expect("day within trace");
+            let Some(day_trace) = trace.day(day_index) else {
+                break;
+            };
             let stats = DayStats::from_trace(&day_trace);
             let mut charging_flags = Vec::with_capacity(day_trace.len());
             let warmup = previous_stats.is_none();
@@ -316,7 +319,10 @@ impl DayOutcome {
         if self.charging_flags.is_empty() {
             return 0.0;
         }
-        self.charging_flags.iter().filter(|c| **c).count() as f64 / self.charging_flags.len() as f64
+        counts_ratio(
+            self.charging_flags.iter().filter(|c| **c).count(),
+            self.charging_flags.len(),
+        )
     }
 }
 
@@ -440,8 +446,7 @@ impl SmartChargingOutcome {
         self.days.iter().filter(|d| !d.is_warmup()).min_by(|a, b| {
             (a.savings_percent() - median)
                 .abs()
-                .partial_cmp(&(b.savings_percent() - median).abs())
-                .expect("savings are finite")
+                .total_cmp(&(b.savings_percent() - median).abs())
         })
     }
 }
@@ -466,7 +471,7 @@ pub fn median(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
@@ -481,8 +486,8 @@ pub fn std_dev(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
     }
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    let mean = values.iter().sum::<f64>() / count_f64(values.len());
+    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count_f64(values.len());
     variance.sqrt()
 }
 

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{count_f64, percentile_rank};
 use junkyard_carbon::units::CarbonIntensity;
 use junkyard_grid::trace::IntensityTrace;
 
@@ -24,7 +25,7 @@ impl DayStats {
     pub fn from_trace(trace: &IntensityTrace) -> Self {
         assert!(!trace.is_empty(), "cannot summarise an empty trace");
         let mut sorted: Vec<f64> = trace.values().iter().map(|v| v.grams_per_kwh()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("intensities are finite"));
+        sorted.sort_by(f64::total_cmp);
         Self {
             sorted_grams_per_kwh: sorted,
         }
@@ -57,7 +58,7 @@ impl DayStats {
     #[must_use]
     pub fn mean(&self) -> CarbonIntensity {
         let sum: f64 = self.sorted_grams_per_kwh.iter().sum();
-        CarbonIntensity::from_grams_per_kwh(sum / self.sorted_grams_per_kwh.len() as f64)
+        CarbonIntensity::from_grams_per_kwh(sum / count_f64(self.sorted_grams_per_kwh.len()))
     }
 }
 
@@ -71,10 +72,7 @@ pub fn sorted_percentile(sorted: &[f64], p: f64) -> CarbonIntensity {
     if sorted.is_empty() {
         return CarbonIntensity::ZERO;
     }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
+    let (lo, hi, frac) = percentile_rank(p, sorted.len());
     CarbonIntensity::from_grams_per_kwh(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 

@@ -165,6 +165,9 @@ pub enum CciError {
     NoWork,
     /// The calculator was asked for CCI but no throughput was configured.
     MissingThroughput,
+    /// The two lives measured their work in different units, so the
+    /// totals cannot be combined.
+    MismatchedWork(crate::ops::UnitMismatch),
 }
 
 impl fmt::Display for CciError {
@@ -174,6 +177,7 @@ impl fmt::Display for CciError {
             CciError::MissingThroughput => {
                 f.write_str("no throughput configured; cannot amortise carbon over work")
             }
+            CciError::MismatchedWork(mismatch) => mismatch.fmt(f),
         }
     }
 }
@@ -549,7 +553,7 @@ impl SecondLifeCci {
         let total_work = self
             .first_life_work
             .checked_add(second_work)
-            .expect("units already validated");
+            .map_err(CciError::MismatchedWork)?;
         Cci::new(total_carbon, total_work)
     }
 }

@@ -1,0 +1,177 @@
+//! Checked numeric conversions for accounting paths.
+//!
+//! The `unchecked-cast` lint ratchets bare `as` casts out of the
+//! accounting crates because a silent truncation in a count or an index
+//! is exactly the kind of bug the conservation suites cannot see. The
+//! casts that the domain genuinely needs — counts widened to `f64`,
+//! non-negative positions floored to indices, percentile ranks split
+//! into order statistics — live here instead, audited once, with their
+//! preconditions written down and debug-asserted.
+//!
+//! Every helper is total: out-of-domain inputs saturate instead of
+//! wrapping, and debug builds assert the precondition so the saturation
+//! never silently happens in anger.
+
+/// Counts at or above `2^53` no longer round-trip through `f64`
+/// exactly. No workspace collection approaches this (it would be nine
+/// petabytes of samples), so the helpers treat it as a debug-assert
+/// precondition and saturate in release builds.
+const EXACT_F64: u64 = 1 << 53;
+
+/// A collection count as an `f64` — exact for every count below `2^53`.
+#[must_use]
+pub fn count_f64(count: usize) -> f64 {
+    wide_count_f64(index_u64(count))
+}
+
+/// A `u64` count as an `f64` — exact below `2^53`, saturating to
+/// `2^53` above it (debug builds assert instead).
+#[must_use]
+pub fn wide_count_f64(count: u64) -> f64 {
+    debug_assert!(count <= EXACT_F64, "count {count} does not fit f64 exactly");
+    // lint:allow(unchecked-cast): audited — bounded by EXACT_F64, where
+    // u64 -> f64 is value-preserving
+    count.min(EXACT_F64) as f64
+}
+
+/// A `usize` index widened to `u64` (for seed decorrelation). Lossless
+/// on every supported platform.
+#[must_use]
+pub fn index_u64(index: usize) -> u64 {
+    // lint:allow(unchecked-cast): audited — usize is at most 64 bits on
+    // every platform this workspace builds for, so the widening is exact
+    index as u64
+}
+
+/// The ratio of two counts. The denominator must be positive (callers
+/// guard the empty case); a zero denominator yields `0.0` in release
+/// builds rather than `NaN` leaking into the accounting.
+#[must_use]
+pub fn counts_ratio(numerator: usize, denominator: usize) -> f64 {
+    debug_assert!(denominator > 0, "counts_ratio denominator is zero");
+    if denominator == 0 {
+        return 0.0;
+    }
+    count_f64(numerator) / count_f64(denominator)
+}
+
+/// A non-negative position floored to an index: `floor(max(position,
+/// 0))`. NaN maps to zero; callers clamp or wrap to their own length.
+#[must_use]
+pub fn floor_index(position: f64) -> usize {
+    // lint:allow(unchecked-cast): audited — the value is non-negative,
+    // finite after max(0.0), and floored, so the cast only truncates
+    // what floor already removed
+    position.max(0.0).floor().min(wide_count_f64(EXACT_F64)) as usize
+}
+
+/// A non-negative position rounded up to an index: `ceil(max(position,
+/// 0))`. NaN maps to zero.
+#[must_use]
+pub fn ceil_index(position: f64) -> usize {
+    // lint:allow(unchecked-cast): audited — non-negative, finite, and
+    // already integral after ceil
+    position.max(0.0).ceil().min(wide_count_f64(EXACT_F64)) as usize
+}
+
+/// A non-negative quantity rounded to the nearest count. NaN maps to
+/// zero.
+#[must_use]
+pub fn round_count(value: f64) -> usize {
+    // lint:allow(unchecked-cast): audited — non-negative, finite, and
+    // already integral after round
+    value.max(0.0).round().min(wide_count_f64(EXACT_F64)) as usize
+}
+
+/// A non-negative quantity rounded up to a `u32` count, saturating at
+/// `u32::MAX` (debug builds assert the value fits).
+#[must_use]
+pub fn ceil_count_u32(value: f64) -> u32 {
+    let ceiled = value.max(0.0).ceil();
+    debug_assert!(
+        ceiled <= f64::from(u32::MAX),
+        "count {ceiled} does not fit u32"
+    );
+    // lint:allow(unchecked-cast): audited — clamped into u32's exact
+    // range before the cast
+    ceiled.min(f64::from(u32::MAX)) as u32
+}
+
+/// Splits the `p`-th percentile (0–100) of an ascending slice of `len`
+/// order statistics into the two bracketing indices and the
+/// interpolation weight of the upper one — the single percentile
+/// definition (linear interpolation between order statistics) shared by
+/// every accounting crate.
+///
+/// `len` must be at least 1; callers handle the empty slice themselves
+/// (the right empty-case answer differs per call site).
+#[must_use]
+pub fn percentile_rank(p: f64, len: usize) -> (usize, usize, f64) {
+    debug_assert!(len >= 1, "percentile of an empty slice");
+    let rank = p / 100.0 * count_f64(len.saturating_sub(1));
+    let lo = floor_index(rank);
+    let hi = ceil_index(rank);
+    (lo, hi, rank - count_f64(lo))
+}
+
+/// Maps a full-entropy `u64` draw to a uniform value in `[0, 1)` using
+/// the top 53 bits (the f64 mantissa width) — the shared PRNG-to-unit
+/// convention of the fault planner and the lifecycle failure model.
+#[must_use]
+pub fn unit_draw(draw: u64) -> f64 {
+    wide_count_f64(draw >> 11) / wide_count_f64(1 << 53)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(7), 7.0);
+        assert_eq!(wide_count_f64((1 << 53) - 1), 9_007_199_254_740_991.0);
+    }
+
+    #[test]
+    fn ratio_of_counts() {
+        assert_eq!(counts_ratio(1, 4), 0.25);
+        assert_eq!(counts_ratio(0, 3), 0.0);
+    }
+
+    #[test]
+    fn indices_floor_ceil_round() {
+        assert_eq!(floor_index(3.9), 3);
+        assert_eq!(ceil_index(3.1), 4);
+        assert_eq!(round_count(3.5), 4);
+        assert_eq!(floor_index(-1.0), 0);
+        assert_eq!(floor_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn ceil_u32_saturates() {
+        assert_eq!(ceil_count_u32(2.1), 3);
+        assert_eq!(ceil_count_u32(-5.0), 0);
+    }
+
+    #[test]
+    fn percentile_rank_brackets() {
+        // Median of five points sits exactly on index 2.
+        assert_eq!(percentile_rank(50.0, 5), (2, 2, 0.0));
+        // p75 of four points: rank 2.25.
+        let (lo, hi, frac) = percentile_rank(75.0, 4);
+        assert_eq!((lo, hi), (2, 3));
+        assert!((frac - 0.25).abs() < 1e-12);
+        assert_eq!(percentile_rank(100.0, 4), (3, 3, 0.0));
+    }
+
+    #[test]
+    fn unit_draw_is_half_open() {
+        assert_eq!(unit_draw(0), 0.0);
+        assert!(unit_draw(u64::MAX) < 1.0);
+        // The draw convention matches the inline implementations it
+        // replaces: top 53 bits over 2^53.
+        let draw = 0x8000_0000_0000_0000u64;
+        assert_eq!(unit_draw(draw), 0.5);
+    }
+}

@@ -188,7 +188,7 @@ pub fn battery_packs_needed(lifetime: TimeSpan, battery_lifetime: TimeSpan) -> u
     if lifetime.seconds() <= 0.0 {
         return 0;
     }
-    (lifetime.seconds() / battery_lifetime.seconds()).ceil() as u32
+    crate::convert::ceil_count_u32(lifetime.seconds() / battery_lifetime.seconds())
 }
 
 /// Embodied carbon of the *replacement* batteries needed to keep a reused

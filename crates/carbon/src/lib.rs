@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cci;
+pub mod convert;
 pub mod embodied;
 pub mod operational;
 pub mod ops;
@@ -57,7 +58,8 @@ pub mod prelude {
     pub use crate::reuse::ReuseFactor;
     pub use crate::scale::{FacilityModel, Pue};
     pub use crate::units::{
-        Bytes, CarbonIntensity, DataRate, EnergyPerByte, GramsCo2e, Joules, TimeSpan, Watts,
+        Bytes, CarbonIntensity, DataRate, EnergyPerByte, GramsCo2e, Joules, Millis, Qps, TimeSpan,
+        Watts,
     };
 }
 
@@ -67,4 +69,4 @@ pub use crate::operational::NetworkProfile;
 pub use crate::ops::{OpCount, OpUnit, Throughput};
 pub use crate::reuse::ReuseFactor;
 pub use crate::scale::{FacilityModel, Pue};
-pub use crate::units::{CarbonIntensity, GramsCo2e, Joules, TimeSpan, Watts};
+pub use crate::units::{CarbonIntensity, GramsCo2e, Joules, Millis, Qps, TimeSpan, Watts};

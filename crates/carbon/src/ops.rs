@@ -117,6 +117,8 @@ impl Add for OpCount {
     /// mismatch as an error instead.
     fn add(self, rhs: Self) -> Self {
         self.checked_add(rhs)
+            // lint:allow(panic-in-library): documented panic — `Add` is
+            // the panicking convenience; `checked_add` is the fallible API
             .expect("cannot add OpCount values with different units")
     }
 }

@@ -128,10 +128,13 @@ impl FacilityModel {
     #[must_use]
     pub fn pue_for(self, units: u64, unit_power: Watts, rack_units_per_unit: f64) -> Pue {
         assert!(units > 0, "a facility needs at least one unit");
-        let it = unit_power * units as f64;
+        let it = unit_power * crate::convert::wide_count_f64(units);
         let cooling = it * self.cooling_per_watt;
-        let lighting =
-            Watts::new(self.lighting_watts_per_rack_unit * rack_units_per_unit * units as f64);
+        let lighting = Watts::new(
+            self.lighting_watts_per_rack_unit
+                * rack_units_per_unit
+                * crate::convert::wide_count_f64(units),
+        );
         Pue::new(it, cooling, lighting)
     }
 }

@@ -26,6 +26,8 @@ use serde::{Deserialize, Serialize};
 
 /// Number of joules in one kilowatt-hour.
 pub const JOULES_PER_KWH: f64 = 3.6e6;
+/// Number of milliseconds in one second.
+pub const MILLIS_PER_SEC: f64 = 1_000.0;
 /// Number of seconds in one hour.
 pub const SECONDS_PER_HOUR: f64 = 3_600.0;
 /// Number of seconds in one average day.
@@ -200,6 +202,19 @@ quantity!(
     /// A volume of data, stored in bytes.
     Bytes,
     "B"
+);
+
+quantity!(
+    /// A request latency, stored in milliseconds.
+    Millis,
+    "ms"
+);
+
+quantity!(
+    /// A request rate (offered or served load), stored in requests per
+    /// second.
+    Qps,
+    "req/s"
 );
 
 impl GramsCo2e {
@@ -378,6 +393,52 @@ impl Bytes {
     #[must_use]
     pub fn gigabytes(self) -> f64 {
         self.value() / 1e9
+    }
+}
+
+impl Millis {
+    /// Creates a latency from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: f64) -> Self {
+        Self::new(ms)
+    }
+
+    /// Creates a latency from seconds.
+    #[must_use]
+    pub fn from_seconds(secs: f64) -> Self {
+        Self::new(secs * MILLIS_PER_SEC)
+    }
+
+    /// Returns the latency in milliseconds.
+    #[must_use]
+    pub const fn millis(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the latency in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.value() / MILLIS_PER_SEC
+    }
+}
+
+impl Qps {
+    /// Creates a rate from requests per second.
+    #[must_use]
+    pub const fn from_per_second(qps: f64) -> Self {
+        Self::new(qps)
+    }
+
+    /// Returns the rate in requests per second.
+    #[must_use]
+    pub const fn per_second(self) -> f64 {
+        self.value()
+    }
+
+    /// Total requests arriving at this rate over `span`.
+    #[must_use]
+    pub fn requests_over(self, span: TimeSpan) -> f64 {
+        self.value() * span.seconds()
     }
 }
 

@@ -54,12 +54,16 @@ impl ChargingStudy {
             SmartChargingConfig::new(
                 pixel.name(),
                 pixel.average_power(&profile),
+                // lint:allow(panic-in-library): the built-in Pixel 3a
+                // catalog entry always carries a battery spec
                 pixel.battery().expect("the Pixel has a battery"),
             )
             .run(&trace),
             SmartChargingConfig::new(
                 thinkpad.name(),
                 thinkpad.average_power(&profile),
+                // lint:allow(panic-in-library): the built-in ThinkPad
+                // catalog entry always carries a battery spec
                 thinkpad.battery().expect("the ThinkPad has a battery"),
             )
             .run(&trace),

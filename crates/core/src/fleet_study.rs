@@ -129,9 +129,9 @@ impl FleetStudy {
         // Smart charging needs at least one full previous day of history.
         let trace_days = self.days.max(2);
         let west = CaisoSynthesizer::new(self.seed, trace_days).intensity_trace();
-        let half_day = (TimeSpan::from_hours(12.0).seconds() / west.step().seconds()).round();
+        let half_day_steps = (TimeSpan::from_hours(12.0).seconds() / west.step().seconds()).round();
         let mut values = west.values().to_vec();
-        let shift = half_day as usize % values.len();
+        let shift = half_day_steps as usize % values.len();
         values.rotate_left(shift);
         let east = IntensityTrace::new(west.step(), values);
         (west, east)

@@ -172,9 +172,9 @@ impl LifecycleStudy {
         let west = CaisoSynthesizer::new(self.seed, self.trace_days)
             .step(self.trace_step)
             .intensity_trace();
-        let half_day = (TimeSpan::from_hours(12.0).seconds() / west.step().seconds()).round();
+        let half_day_steps = (TimeSpan::from_hours(12.0).seconds() / west.step().seconds()).round();
         let mut values = west.values().to_vec();
-        let shift = half_day as usize % values.len();
+        let shift = half_day_steps as usize % values.len();
         values.rotate_left(shift);
         let east = IntensityTrace::new(west.step(), values);
         (west, east)

@@ -179,9 +179,12 @@ impl ResilienceStudy {
     ///
     /// Panics if zero.
     #[must_use]
-    pub fn windows_per_day(mut self, windows: usize) -> Self {
-        assert!(windows > 0, "the study needs at least one window per day");
-        self.windows_per_day = windows;
+    pub fn windows_per_day(mut self, windows_per_day: usize) -> Self {
+        assert!(
+            windows_per_day > 0,
+            "the study needs at least one window per day"
+        );
+        self.windows_per_day = windows_per_day;
         self
     }
 

@@ -34,12 +34,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{count_f64, index_u64, unit_draw as convert_unit_draw};
 use junkyard_microsim::sweep::decorrelate_seed;
 
 /// Converts a 64-bit draw into a unit float in `[0, 1)`, the same way the
 /// sweep layer seeds its workloads.
 fn unit_draw(draw: u64) -> f64 {
-    (draw >> 11) as f64 / (1u64 << 53) as f64
+    convert_unit_draw(draw)
 }
 
 /// The kind of a correlated fault event.
@@ -294,13 +295,13 @@ impl FaultPlan {
             }
             // Per-window hazard of a process with the given mean
             // inter-arrival time in days.
-            let hazard = 1.0 - (-1.0 / (mean_days * windows_per_day as f64)).exp();
-            let kind_seed = decorrelate_seed(seed, kind_index as u64 + 1);
+            let hazard = 1.0 - (-1.0 / (mean_days * count_f64(windows_per_day))).exp();
+            let kind_seed = decorrelate_seed(seed, index_u64(kind_index) + 1);
             for site in 0..sites {
-                let site_seed = decorrelate_seed(kind_seed, site as u64 + 1);
+                let site_seed = decorrelate_seed(kind_seed, index_u64(site) + 1);
                 let mut window = 0;
                 while window < windows {
-                    let draw = unit_draw(decorrelate_seed(site_seed, window as u64 + 1));
+                    let draw = unit_draw(decorrelate_seed(site_seed, index_u64(window) + 1));
                     if draw < hazard {
                         plan.push_event(FaultEvent {
                             site,
@@ -456,7 +457,7 @@ impl RetryPolicy {
     #[must_use]
     pub fn worst_case_penalty_s(&self) -> f64 {
         (0..self.max_retries)
-            .map(|round| self.timeout_s + self.backoff_base_s * (1 << round) as f64)
+            .map(|round| self.timeout_s + self.backoff_base_s * count_f64(1 << round))
             .sum()
     }
 }

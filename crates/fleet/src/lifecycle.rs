@@ -42,7 +42,8 @@ use junkyard_battery::charging::SmartChargePolicy;
 use junkyard_battery::sim::simulate_day;
 use junkyard_battery::state::BatteryState;
 use junkyard_battery::trace_ext::DayStats;
-use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, TimeSpan, Watts};
+use junkyard_carbon::convert::{count_f64, counts_ratio, floor_index, index_u64, unit_draw};
+use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, Millis, TimeSpan, Watts};
 use junkyard_devices::battery::BatterySpec;
 use junkyard_grid::trace::IntensityTrace;
 use junkyard_microsim::compiled::CompiledSim;
@@ -338,7 +339,7 @@ impl LifecycleSite {
     /// tiling and sample-level wrap-around of window means must agree
     /// over a multi-year horizon) and finite intensity samples.
     fn check_region(region: &GridRegion) -> Result<(), SiteConfigError> {
-        let days = region.trace().duration().seconds() / TimeSpan::from_days(1.0).seconds();
+        let days = region.trace().duration().days();
         if !(days >= 1.0 - 1e-9 && (days - days.round()).abs() < 1e-9) {
             return Err(SiteConfigError::new(format!(
                 "a lifecycle region trace must cover a whole number of days, got {days}"
@@ -569,9 +570,9 @@ impl LifecycleConfig {
     ///
     /// Panics if zero.
     #[must_use]
-    pub fn windows_per_day(mut self, windows: usize) -> Self {
-        assert!(windows > 0, "need at least one window per day");
-        self.windows_per_day = windows;
+    pub fn windows_per_day(mut self, windows_per_day: usize) -> Self {
+        assert!(windows_per_day > 0, "need at least one window per day");
+        self.windows_per_day = windows_per_day;
         self
     }
 
@@ -771,9 +772,9 @@ pub struct LifecycleCell {
     device_failures: u32,
     devices_replaced: u32,
     mean_alive: f64,
-    worst_median_ms: f64,
-    worst_tail_ms: f64,
-    worst_p99_ms: f64,
+    worst_median_ms: Millis,
+    worst_tail_ms: Millis,
+    worst_p99_ms: Millis,
     daily: Vec<DayLedger>,
 }
 
@@ -859,21 +860,21 @@ impl LifecycleCell {
     /// The worst measured median latency of the year's slices, ms.
     #[must_use]
     pub fn worst_median_ms(&self) -> f64 {
-        self.worst_median_ms
+        self.worst_median_ms.millis()
     }
 
     /// The worst measured tail (90th percentile) latency of the year's
     /// slices, ms.
     #[must_use]
     pub fn worst_tail_ms(&self) -> f64 {
-        self.worst_tail_ms
+        self.worst_tail_ms.millis()
     }
 
     /// The worst measured 99th-percentile latency of the year's slices,
     /// ms.
     #[must_use]
     pub fn worst_p99_ms(&self) -> f64 {
-        self.worst_p99_ms
+        self.worst_p99_ms.millis()
     }
 
     /// The site's per-day ledger for the year.
@@ -1209,7 +1210,7 @@ impl LifecycleResult {
                 carbon += cell.carbon().grams();
             }
             if requests > 0.0 {
-                points.push(((year + 1) as f64, carbon / requests));
+                points.push((count_f64(year + 1), carbon / requests));
             }
         }
         points
@@ -1450,13 +1451,12 @@ impl LifecycleSim {
             } => {
                 let trace = site.region().trace();
                 let trace_days = trace.day_count();
-                let day_traces: Vec<IntensityTrace> = (0..trace_days)
-                    .map(|d| trace.day(d).expect("whole-day trace"))
-                    .collect();
+                let day_traces: Vec<IntensityTrace> =
+                    (0..trace_days).filter_map(|d| trace.day(d)).collect();
                 let day_stats: Vec<DayStats> =
                     day_traces.iter().map(DayStats::from_trace).collect();
 
-                let site_seed = decorrelate_seed(self.config.seed, site_index as u64 + 1);
+                let site_seed = decorrelate_seed(self.config.seed, index_u64(site_index) + 1);
                 let daily_hazard = if *mean_days_between_failures > 0.0 {
                     1.0 - (-1.0 / mean_days_between_failures).exp()
                 } else {
@@ -1535,9 +1535,9 @@ impl LifecycleSim {
                             }
                             let draw = decorrelate_seed(
                                 site_seed,
-                                (day * devices.len() + index) as u64 + 1,
+                                index_u64(day * devices.len() + index) + 1,
                             );
-                            let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                            let unit = unit_draw(draw);
                             if unit < daily_hazard {
                                 slot.down_until = Some(day + 1 + replacement_lag_days);
                                 device_failures += 1;
@@ -1552,7 +1552,7 @@ impl LifecycleSim {
                         dynamic_power: dynamic,
                         overhead_power: *overhead_power,
                         utilization_scale: if alive > 0 {
-                            devices.len() as f64 / alive as f64
+                            counts_ratio(devices.len(), alive)
                         } else {
                             1.0
                         },
@@ -1763,7 +1763,7 @@ impl LifecycleSim {
 
         let mut cells = Vec::with_capacity(n);
         for slot in slots {
-            cells.push(slot.expect("every lifecycle cell slot is filled by its worker")?);
+            cells.push(slot.ok_or(SimError::WorkerLost)??);
         }
 
         let mut day_ledger = vec![
@@ -1854,7 +1854,7 @@ impl LifecycleSim {
             low_priority_shed_requests,
             total_retry_carbon,
             window_health,
-            horizon_seconds: windows.len() as f64 * window_s,
+            horizon_seconds: count_f64(windows.len()) * window_s,
         })
     }
 
@@ -1879,9 +1879,8 @@ impl LifecycleSim {
         let site = &self.sites[site_idx];
         let wpd = self.config.windows_per_day;
         let sites = self.sites.len();
-        // lint:allow(nondeterministic-iteration): lookup-only — slices
-        // are memoised by exact (start, end) bit pattern and never
-        // iterated; window order drives the accumulation.
+        // Slices are memoised by exact (start, end) bit pattern and
+        // never iterated; window order drives the accumulation.
         let mut memo: HashMap<(u64, u64), SliceMeasure> = HashMap::new();
 
         let mut requests = 0.0;
@@ -1950,7 +1949,7 @@ impl LifecycleSim {
                         *cached
                     } else {
                         let seed =
-                            decorrelate_seed(self.config.seed, (w * sites + site_idx) as u64 + 1);
+                            decorrelate_seed(self.config.seed, index_u64(w * sites + site_idx) + 1);
                         let measured = self.measure_slice(site, eff_start, eff_end, seed)?;
                         memo.insert(key, measured);
                         measured
@@ -2056,10 +2055,10 @@ impl LifecycleSim {
             battery_replacements,
             device_failures,
             devices_replaced,
-            mean_alive: alive_sum as f64 / year_days.len() as f64,
-            worst_median_ms,
-            worst_tail_ms,
-            worst_p99_ms,
+            mean_alive: counts_ratio(alive_sum, year_days.len()),
+            worst_median_ms: Millis::from_millis(worst_median_ms),
+            worst_tail_ms: Millis::from_millis(worst_tail_ms),
+            worst_p99_ms: Millis::from_millis(worst_p99_ms),
             daily,
         })
     }
@@ -2087,14 +2086,14 @@ impl LifecycleSim {
         let stats = metrics.latency_stats_between(warm, warm + slice);
         // Whole-second boundaries (enforced by `LifecycleConfig`), so the
         // bucket range covers exactly the measured slice.
-        let from_bucket = warm as usize;
-        let to_bucket = (warm + slice) as usize;
+        let from_bucket = floor_index(warm);
+        let to_bucket = floor_index(warm + slice);
         let nodes = metrics.node_utilization();
         let utilization = nodes
             .iter()
             .map(|u| u.mean_percent_between(from_bucket, to_bucket))
             .sum::<f64>()
-            / nodes.len() as f64
+            / count_f64(nodes.len())
             / 100.0;
         Ok(SliceMeasure {
             utilization,

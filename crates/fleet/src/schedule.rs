@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{count_f64, floor_index};
 use junkyard_carbon::units::TimeSpan;
 
 /// Hourly multipliers of a typical consumer-facing service: a 3 am trough
@@ -97,7 +98,7 @@ impl DiurnalSchedule {
     /// Total schedule duration.
     #[must_use]
     pub fn total_duration(&self) -> TimeSpan {
-        TimeSpan::from_days(self.days as f64)
+        TimeSpan::from_days(count_f64(self.days))
     }
 
     /// Offered load at offset `t` from the schedule start: the base rate
@@ -106,10 +107,11 @@ impl DiurnalSchedule {
     #[must_use]
     pub fn qps_at(&self, t: TimeSpan) -> f64 {
         let hours = (t.hours().max(0.0)) % 24.0;
-        let index = hours.floor() as usize % 24;
+        let index = floor_index(hours) % 24;
         let next = (index + 1) % 24;
-        let frac = hours - hours.floor();
-        self.base_qps * (self.hourly[index] * (1.0 - frac) + self.hourly[next] * frac)
+        let frac_of_hour = hours - hours.floor();
+        self.base_qps
+            * (self.hourly[index] * (1.0 - frac_of_hour) + self.hourly[next] * frac_of_hour)
     }
 
     /// Slices the schedule into `windows_per_day` equal windows per day,
@@ -125,11 +127,11 @@ impl DiurnalSchedule {
     #[must_use]
     pub fn windows(&self, windows_per_day: usize) -> Vec<LoadWindow> {
         assert!(windows_per_day > 0, "need at least one window per day");
-        let duration = TimeSpan::from_hours(24.0 / windows_per_day as f64);
+        let duration = TimeSpan::from_hours(24.0 / count_f64(windows_per_day));
         let count = self.days * windows_per_day;
         (0..count)
             .map(|index| {
-                let start = TimeSpan::from_secs(duration.seconds() * index as f64);
+                let start = TimeSpan::from_secs(duration.seconds() * count_f64(index));
                 LoadWindow {
                     index,
                     start,

@@ -14,7 +14,8 @@ use std::thread;
 
 use serde::{Deserialize, Serialize};
 
-use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, Joules, TimeSpan};
+use junkyard_carbon::convert::{count_f64, floor_index, index_u64};
+use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, Joules, Millis, Qps, TimeSpan};
 use junkyard_microsim::sim::{Phase, SimError, Workload};
 use junkyard_microsim::sweep::decorrelate_seed;
 
@@ -53,9 +54,9 @@ impl FleetConfig {
     ///
     /// Panics if zero.
     #[must_use]
-    pub fn windows_per_day(mut self, windows: usize) -> Self {
-        assert!(windows > 0, "need at least one window per day");
-        self.windows_per_day = windows;
+    pub fn windows_per_day(mut self, windows_per_day: usize) -> Self {
+        assert!(windows_per_day > 0, "need at least one window per day");
+        self.windows_per_day = windows_per_day;
         self
     }
 
@@ -133,14 +134,14 @@ impl Default for FleetConfig {
 pub struct FleetCell {
     window: usize,
     site: usize,
-    qps_start: f64,
-    qps_end: f64,
+    qps_start: Qps,
+    qps_end: Qps,
     requests: f64,
     #[serde(default)]
     dropped_requests: f64,
     utilization: f64,
-    median_ms: f64,
-    tail_ms: f64,
+    median_ms: Millis,
+    tail_ms: Millis,
     energy: Joules,
     intensity: CarbonIntensity,
     operational: GramsCo2e,
@@ -163,13 +164,13 @@ impl FleetCell {
     /// Assigned offered load at the window start, requests/second.
     #[must_use]
     pub fn qps_start(&self) -> f64 {
-        self.qps_start
+        self.qps_start.per_second()
     }
 
     /// Assigned offered load at the window end, requests/second.
     #[must_use]
     pub fn qps_end(&self) -> f64 {
-        self.qps_end
+        self.qps_end.per_second()
     }
 
     /// Requests *served* by the site over the window: the assigned demand
@@ -203,14 +204,14 @@ impl FleetCell {
     /// Median request latency of the cell's slice, ms (0 when idle).
     #[must_use]
     pub fn median_ms(&self) -> f64 {
-        self.median_ms
+        self.median_ms.millis()
     }
 
     /// Tail (90th percentile) latency of the cell's slice, ms (0 when
     /// idle).
     #[must_use]
     pub fn tail_ms(&self) -> f64 {
-        self.tail_ms
+        self.tail_ms.millis()
     }
 
     /// Electrical energy drawn over the window.
@@ -516,7 +517,7 @@ impl FleetSim {
 
         let mut cells = Vec::with_capacity(n);
         for slot in slots {
-            cells.push(slot.expect("every fleet cell slot is filled by its worker")?);
+            cells.push(slot.ok_or(SimError::WorkerLost)??);
         }
         let mut total_requests = 0.0;
         let mut dropped_requests = 0.0;
@@ -564,7 +565,7 @@ impl FleetSim {
         let site = &self.sites[site_idx];
         let (qps_start, qps_end) = assignment.shares()[site_idx];
         let mean_qps = (qps_start + qps_end) / 2.0;
-        let cell_index = (window_idx * self.sites.len() + site_idx) as u64;
+        let cell_index = index_u64(window_idx * self.sites.len() + site_idx);
 
         let (utilization, median_ms, tail_ms, drop_fraction) = if mean_qps > 0.0 {
             let warm = self.config.warmup_s;
@@ -581,14 +582,14 @@ impl FleetSim {
             // Whole-second boundaries (enforced by `FleetConfig`), so the
             // bucket range covers exactly the measured slice: no warm-up
             // work leaks in and no partial trailing bucket dilutes it.
-            let from_bucket = warm as usize;
-            let to_bucket = (warm + slice) as usize;
+            let from_bucket = floor_index(warm);
+            let to_bucket = floor_index(warm + slice);
             let nodes = metrics.node_utilization();
             let utilization = nodes
                 .iter()
                 .map(|u| u.mean_percent_between(from_bucket, to_bucket))
                 .sum::<f64>()
-                / nodes.len() as f64
+                / count_f64(nodes.len())
                 / 100.0;
             // The slice's drop share extrapolates to the window the same
             // way latency and utilisation do (0.0 for zero-offered slices).
@@ -613,13 +614,13 @@ impl FleetSim {
         Ok(FleetCell {
             window: window_idx,
             site: site_idx,
-            qps_start,
-            qps_end,
+            qps_start: Qps::from_per_second(qps_start),
+            qps_end: Qps::from_per_second(qps_end),
             requests: offered * (1.0 - drop_fraction),
             dropped_requests: offered * drop_fraction,
             utilization,
-            median_ms,
-            tail_ms,
+            median_ms: Millis::from_millis(median_ms),
+            tail_ms: Millis::from_millis(tail_ms),
             energy,
             intensity,
             operational,

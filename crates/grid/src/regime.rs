@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::count_f64;
 use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
 
 use crate::synth::CaisoSynthesizer;
@@ -63,7 +64,7 @@ impl PowerRegime {
             PowerRegime::AlwaysSolar | PowerRegime::ZeroCarbon => IntensityTrace::constant(
                 self.carbon_intensity(),
                 TimeSpan::from_minutes(5.0),
-                TimeSpan::from_days(days as f64),
+                TimeSpan::from_days(count_f64(days)),
             ),
         }
     }

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{count_f64, round_count};
 use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
 
 use crate::sources::{EnergySource, GenerationMix};
@@ -115,8 +116,7 @@ impl CaisoSynthesizer {
     /// Synthesises the carbon-intensity trace.
     #[must_use]
     pub fn intensity_trace(&self) -> IntensityTrace {
-        let samples_per_day =
-            (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
+        let samples_per_day = round_count(TimeSpan::from_days(1.0).seconds() / self.step.seconds());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut raw = Vec::with_capacity(samples_per_day * self.days);
         for _ in 0..self.days {
@@ -124,7 +124,7 @@ impl CaisoSynthesizer {
             let solar_factor = 1.0 + self.daily_jitter * (rng.random::<f64>() * 2.0 - 1.0);
             let demand_factor = 1.0 + self.daily_jitter * 0.6 * (rng.random::<f64>() * 2.0 - 1.0);
             for i in 0..samples_per_day {
-                let hour = 24.0 * i as f64 / samples_per_day as f64;
+                let hour = 24.0 * count_f64(i) / count_f64(samples_per_day);
                 let base = 290.0 * demand_factor;
                 let dip = self.solar_depth * solar_factor * Self::solar_shape(hour);
                 let peak = self.evening_peak * demand_factor * Self::evening_shape(hour);
@@ -133,7 +133,7 @@ impl CaisoSynthesizer {
             }
         }
         // Calibrate the mean to the configured California average.
-        let mean: f64 = raw.iter().sum::<f64>() / raw.len() as f64;
+        let mean: f64 = raw.iter().sum::<f64>() / count_f64(raw.len());
         let scale = self.mean_intensity.grams_per_kwh() / mean;
         let values = raw
             .into_iter()
@@ -146,15 +146,14 @@ impl CaisoSynthesizer {
     /// Figure 4a: one [`GenerationMix`] per sample.
     #[must_use]
     pub fn mix_trace(&self) -> Vec<GenerationMix> {
-        let samples_per_day =
-            (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize;
+        let samples_per_day = round_count(TimeSpan::from_days(1.0).seconds() / self.step.seconds());
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed);
         let mut mixes = Vec::with_capacity(samples_per_day * self.days);
         for _ in 0..self.days {
             let solar_factor = 1.0 + self.daily_jitter * (rng.random::<f64>() * 2.0 - 1.0);
             let wind_base = 2.0 + 3.0 * rng.random::<f64>();
             for i in 0..samples_per_day {
-                let hour = 24.0 * i as f64 / samples_per_day as f64;
+                let hour = 24.0 * count_f64(i) / count_f64(samples_per_day);
                 let demand =
                     23.0 + 4.0 * Self::evening_shape(hour) - 2.0 * Self::solar_shape(hour) * 0.3;
                 let solar = 13.0 * solar_factor * Self::solar_shape(hour);

@@ -11,6 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use junkyard_carbon::convert::{ceil_index, count_f64, floor_index, percentile_rank, round_count};
 use junkyard_carbon::units::{CarbonIntensity, TimeSpan};
 
 /// A fixed-step time series of grid carbon intensity.
@@ -59,7 +60,7 @@ impl IntensityTrace {
     #[must_use]
     pub fn constant(intensity: CarbonIntensity, step: TimeSpan, duration: TimeSpan) -> Self {
         assert!(duration.seconds() > 0.0, "duration must be positive");
-        let samples = (duration.seconds() / step.seconds()).ceil().max(1.0) as usize;
+        let samples = ceil_index(duration.seconds() / step.seconds()).max(1);
         Self::new(step, vec![intensity; samples])
     }
 
@@ -87,7 +88,7 @@ impl IntensityTrace {
     /// duration this exceeds the requested duration by less than one step.
     #[must_use]
     pub fn duration(&self) -> TimeSpan {
-        TimeSpan::from_secs(self.step.seconds() * self.values.len() as f64)
+        TimeSpan::from_secs(self.step.seconds() * count_f64(self.values.len()))
     }
 
     /// The raw samples.
@@ -104,7 +105,7 @@ impl IntensityTrace {
         if offset.seconds() <= 0.0 {
             return self.values[0];
         }
-        let index = (offset.seconds() / self.step.seconds()).floor() as usize;
+        let index = floor_index(offset.seconds() / self.step.seconds());
         self.values[index % self.values.len()]
     }
 
@@ -113,14 +114,14 @@ impl IntensityTrace {
         self.values
             .iter()
             .enumerate()
-            .map(move |(i, v)| (TimeSpan::from_secs(self.step.seconds() * i as f64), *v))
+            .map(move |(i, v)| (TimeSpan::from_secs(self.step.seconds() * count_f64(i)), *v))
     }
 
     /// Mean intensity across the trace.
     #[must_use]
     pub fn mean(&self) -> CarbonIntensity {
         let sum: f64 = self.values.iter().map(|v| v.grams_per_kwh()).sum();
-        CarbonIntensity::from_grams_per_kwh(sum / self.values.len() as f64)
+        CarbonIntensity::from_grams_per_kwh(sum / count_f64(self.values.len()))
     }
 
     /// Minimum intensity across the trace.
@@ -155,11 +156,8 @@ impl IntensityTrace {
     pub fn percentile(&self, p: f64) -> CarbonIntensity {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         let mut sorted: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("intensities are finite"));
-        let rank = p / 100.0 * (sorted.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
+        sorted.sort_by(f64::total_cmp);
+        let (lo, hi, frac) = percentile_rank(p, sorted.len());
         CarbonIntensity::from_grams_per_kwh(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
     }
 
@@ -167,7 +165,7 @@ impl IntensityTrace {
     /// exact whenever the step divides a day evenly. Zero for steps longer
     /// than ~1.5 days.
     fn samples_per_day(&self) -> usize {
-        (TimeSpan::from_days(1.0).seconds() / self.step.seconds()).round() as usize
+        round_count(TimeSpan::from_days(1.0).seconds() / self.step.seconds())
     }
 
     /// Number of whole (quantised) days covered by the trace.
@@ -259,7 +257,7 @@ impl IntensityTrace {
         while t < b - 1e-12 {
             let index = (t / step).floor();
             let segment_end = ((index + 1.0) * step).min(b);
-            let value = self.values[index as usize % self.values.len()].grams_per_kwh();
+            let value = self.values[floor_index(index) % self.values.len()].grams_per_kwh();
             weighted += value * (segment_end - t);
             t = segment_end;
         }

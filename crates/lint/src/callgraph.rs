@@ -1,0 +1,398 @@
+//! The workspace call graph and the `fanout-purity` analysis.
+//!
+//! Roots are the closures handed to `thread::scope` spawn sites (any
+//! `.spawn(` call outside test code). From each root the analysis walks
+//! name-resolved call edges (see [`crate::symbols`]) to every reachable
+//! function and checks each one for effects that would break the
+//! bit-identical-at-any-worker-count contract: wall-clock reads,
+//! ambient randomness, mutable statics, and iteration over hash-ordered
+//! containers.
+//!
+//! The same reachability defines the **fan-out scope** used to re-scope
+//! the declaration facet of `nondeterministic-iteration`: declaring a
+//! `HashMap` only needs a justification when the declaration sits on a
+//! fan-out path; serial bookkeeping between batches does not.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::TokenKind;
+use crate::parser::ParsedFile;
+use crate::rules::{hash_bindings, hash_iteration_points, Finding, RuleId, AMBIENT_RNG_IDENTS};
+use crate::source::SourceFile;
+use crate::symbols::{Call, FnRef, Symbols};
+
+/// The fan-out analysis results for the whole workspace.
+#[derive(Debug, Default)]
+pub struct Fanout {
+    /// Per file: sorted significant-token ranges that are on a fan-out
+    /// path (spawn-closure argument ranges and reachable fn bodies).
+    pub scopes: Vec<Vec<(usize, usize)>>,
+    /// `fanout-purity` findings.
+    pub findings: Vec<Finding>,
+}
+
+impl Fanout {
+    /// Whether significant-token index `i` of file `file_idx` is inside
+    /// the fan-out scope.
+    #[must_use]
+    pub fn in_scope(&self, file_idx: usize, i: usize) -> bool {
+        self.scopes
+            .get(file_idx)
+            .is_some_and(|ranges| ranges.iter().any(|&(lo, hi)| i >= lo && i < hi))
+    }
+}
+
+/// One `.spawn(` call site.
+#[derive(Debug)]
+struct SpawnSite {
+    file: usize,
+    line: u32,
+    /// Significant-token range of the spawn call's argument list.
+    range: (usize, usize),
+}
+
+/// Extracts every call expression in the sig range `[start, end)`.
+fn collect_calls(file: &SourceFile, start: usize, end: usize) -> Vec<Call> {
+    let mut calls = Vec::new();
+    let n = end.min(file.sig.len());
+    for i in start..n {
+        if file.sig_kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if i + 1 >= n || file.sig_text(i + 1) != "(" {
+            continue;
+        }
+        let name = file.sig_text(i).to_string();
+        if i == 0 {
+            calls.push(Call::Plain(name));
+            continue;
+        }
+        match file.sig_text(i - 1) {
+            "fn" => {}
+            "." => calls.push(Call::Method(name)),
+            "::" => {
+                if i >= 2 && file.sig_kind(i - 2) == TokenKind::Ident {
+                    calls.push(Call::Qualified(file.sig_text(i - 2).to_string(), name));
+                } else {
+                    calls.push(Call::Plain(name));
+                }
+            }
+            _ => calls.push(Call::Plain(name)),
+        }
+    }
+    calls
+}
+
+/// Finds every non-test `.spawn(` call and the sig range of its
+/// argument list (which contains the worker closure).
+fn spawn_sites(files: &[SourceFile]) -> Vec<SpawnSite> {
+    let mut sites = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        let n = file.sig.len();
+        for i in 0..n {
+            if file.sig_text(i) != "spawn"
+                || i == 0
+                || file.sig_text(i - 1) != "."
+                || i + 1 >= n
+                || file.sig_text(i + 1) != "("
+            {
+                continue;
+            }
+            if file.sig_in_test(i) {
+                continue;
+            }
+            // Match the argument parens.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let close = loop {
+                if j >= n {
+                    break n;
+                }
+                match file.sig_text(j) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break j;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            };
+            sites.push(SpawnSite {
+                file: file_idx,
+                line: file.sig_line(i),
+                range: (i + 2, close),
+            });
+        }
+    }
+    sites
+}
+
+/// One impure effect found in a token range.
+struct Impurity {
+    line: u32,
+    what: String,
+}
+
+/// Scans the sig range of `file` for effects that break replay
+/// determinism. `bench` files are allowed wall clocks (that is the
+/// bench crate's whole job).
+fn impurities(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    bench: bool,
+    iteration_points: &[(usize, String)],
+) -> Vec<Impurity> {
+    let mut out = Vec::new();
+    let n = end.min(file.sig.len());
+    for i in start..n {
+        if file.sig_in_test(i) {
+            continue;
+        }
+        let text = file.sig_text(i);
+        if !bench && (text == "Instant" || text == "SystemTime") {
+            out.push(Impurity {
+                line: file.sig_line(i),
+                what: format!("reads the wall clock (`{text}`)"),
+            });
+        }
+        if AMBIENT_RNG_IDENTS.contains(&text) {
+            out.push(Impurity {
+                line: file.sig_line(i),
+                what: format!("draws ambient entropy (`{text}`)"),
+            });
+        }
+        if text == "static" && i + 1 < n && file.sig_text(i + 1) == "mut" {
+            out.push(Impurity {
+                line: file.sig_line(i),
+                what: "touches a mutable static".to_string(),
+            });
+        }
+    }
+    for &(idx, ref desc) in iteration_points {
+        if idx >= start && idx < n && !file.sig_in_test(idx) {
+            out.push(Impurity {
+                line: file.sig_line(idx),
+                what: format!("observes hash iteration order ({desc})"),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the whole fan-out analysis: spawn roots → reachability →
+/// purity findings + per-file scopes. `bench[i]` marks bench files.
+#[must_use]
+pub fn analyze(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    symbols: &Symbols,
+    bench: &[bool],
+) -> Fanout {
+    let sites = spawn_sites(files);
+    // Per-file hash context, computed once.
+    let per_file_bindings: Vec<Vec<String>> = files.iter().map(hash_bindings).collect();
+    let per_file_points: Vec<Vec<(usize, String)>> = files
+        .iter()
+        .zip(&per_file_bindings)
+        .map(|(f, b)| hash_iteration_points(f, b))
+        .collect();
+
+    // BFS over call edges from each spawn site's closure.
+    let mut visited: BTreeSet<FnRef> = BTreeSet::new();
+    let mut origin: BTreeMap<FnRef, usize> = BTreeMap::new(); // site index
+    let mut queue: VecDeque<FnRef> = VecDeque::new();
+    for (site_idx, site) in sites.iter().enumerate() {
+        let file = &files[site.file];
+        for call in collect_calls(file, site.range.0, site.range.1) {
+            for r in symbols.resolve(parsed, &call) {
+                if files[r.0].whole_file_test || files[r.0].sig_in_test(parsed[r.0].fns[r.1].at) {
+                    continue;
+                }
+                if visited.insert(r) {
+                    origin.insert(r, site_idx);
+                    queue.push_back(r);
+                }
+            }
+        }
+    }
+    while let Some(r) = queue.pop_front() {
+        let Some((start, end)) = parsed[r.0].fns[r.1].body else {
+            continue;
+        };
+        let site_idx = origin[&r];
+        for call in collect_calls(&files[r.0], start, end) {
+            for next in symbols.resolve(parsed, &call) {
+                if files[next.0].whole_file_test
+                    || files[next.0].sig_in_test(parsed[next.0].fns[next.1].at)
+                {
+                    continue;
+                }
+                if visited.insert(next) {
+                    origin.insert(next, site_idx);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    // Findings: direct impurities inside spawn closures...
+    let mut findings = Vec::new();
+    for site in &sites {
+        let file = &files[site.file];
+        for imp in impurities(
+            file,
+            site.range.0,
+            site.range.1,
+            bench[site.file],
+            &per_file_points[site.file],
+        ) {
+            findings.push(Finding {
+                rule: RuleId::FanoutPurity,
+                path: file.rel_path.clone(),
+                line: imp.line,
+                message: format!(
+                    "spawn closure (`thread::scope` fan-out at {}:{}) {}",
+                    file.rel_path, site.line, imp.what
+                ),
+                suppressed: None,
+            });
+        }
+    }
+    // ... and impure reachable fns, one finding per fn.
+    for &r in &visited {
+        let f = &parsed[r.0].fns[r.1];
+        let Some((start, end)) = f.body else { continue };
+        let file = &files[r.0];
+        let imps = impurities(file, start, end, bench[r.0], &per_file_points[r.0]);
+        if imps.is_empty() {
+            continue;
+        }
+        let site = &sites[origin[&r]];
+        let mut whats: Vec<String> = imps.iter().map(|i| i.what.clone()).collect();
+        whats.dedup();
+        let shown = if whats.len() > 3 {
+            format!("{}; and {} more", whats[..3].join("; "), whats.len() - 3)
+        } else {
+            whats.join("; ")
+        };
+        findings.push(Finding {
+            rule: RuleId::FanoutPurity,
+            path: file.rel_path.clone(),
+            line: f.line,
+            message: format!(
+                "fn `{}` is reachable from the `thread::scope` fan-out at {}:{} and {}",
+                f.qualified(),
+                files[site.file].rel_path,
+                site.line,
+                shown
+            ),
+            suppressed: None,
+        });
+    }
+
+    // Scopes: spawn ranges plus reachable fn bodies, per file.
+    let mut scopes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); files.len()];
+    for site in &sites {
+        scopes[site.file].push(site.range);
+    }
+    for &r in &visited {
+        if let Some(body) = parsed[r.0].fns[r.1].body {
+            scopes[r.0].push(body);
+        }
+    }
+    for ranges in &mut scopes {
+        ranges.sort_unstable();
+    }
+    Fanout { scopes, findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, Vec<ParsedFile>, Fanout) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(path, src)| SourceFile::new((*path).to_string(), (*src).to_string(), false))
+            .collect();
+        let parsed: Vec<ParsedFile> = files.iter().map(parse).collect();
+        let symbols = Symbols::build(&parsed);
+        let bench = vec![false; files.len()];
+        let fanout = analyze(&files, &parsed, &symbols, &bench);
+        (files, parsed, fanout)
+    }
+
+    #[test]
+    fn impure_fn_reachable_from_spawn_is_flagged_across_crates() {
+        let (_, _, fanout) = run(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn run() {\n    std::thread::scope(|s| {\n        s.spawn(|| helper());\n    });\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn helper() {\n    let _t = std::time::Instant::now();\n}\n",
+            ),
+        ]);
+        assert_eq!(fanout.findings.len(), 1);
+        let f = &fanout.findings[0];
+        assert_eq!(f.path, "crates/b/src/lib.rs");
+        assert!(f.message.contains("wall clock"), "{}", f.message);
+        assert!(f.message.contains("crates/a/src/lib.rs:3"), "{}", f.message);
+    }
+
+    #[test]
+    fn cycles_terminate_and_still_flag() {
+        let (_, _, fanout) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn run() {\n    std::thread::scope(|s| { s.spawn(|| ping()); });\n}\n\
+             fn ping() { pong(); }\n\
+             fn pong() { ping(); let _ = rand::thread_rng(); }\n",
+        )]);
+        assert_eq!(fanout.findings.len(), 1);
+        assert!(fanout.findings[0].message.contains("ambient entropy"));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impl_fns() {
+        let (_, _, fanout) = run(&[(
+            "crates/a/src/lib.rs",
+            "struct W;\nimpl W {\n    fn step(&self) { static mut COUNTER: u64 = 0; let _ = COUNTER; }\n}\n\
+             pub fn run(w: &W) {\n    std::thread::scope(|s| { s.spawn(|| w.step()); });\n}\n",
+        )]);
+        assert_eq!(fanout.findings.len(), 1);
+        assert!(fanout.findings[0].message.contains("mutable static"));
+        assert!(fanout.findings[0].message.contains("W::step"));
+    }
+
+    #[test]
+    fn pure_fanout_paths_are_silent_and_scoped() {
+        let (_, _, fanout) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn run() {\n    std::thread::scope(|s| { s.spawn(|| work(1)); });\n}\n\
+             fn work(x: u64) -> u64 { x + 1 }\n\
+             fn unrelated() -> u64 { 7 }\n",
+        )]);
+        assert!(fanout.findings.is_empty(), "{:?}", fanout.findings);
+        // `work`'s body is in scope; `unrelated`'s is not.
+        assert!(!fanout.scopes[0].is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_in_reachable_fn_is_impure() {
+        let (_, _, fanout) = run(&[(
+            "crates/a/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn run() {\n    std::thread::scope(|s| { s.spawn(|| tally()); });\n}\n\
+             // lint:allow(nondeterministic-iteration): exercised in a purity test\n\
+             fn tally() {\n    let m: HashMap<u64, u64> = HashMap::new();\n    for _ in m.iter() {}\n}\n",
+        )]);
+        assert_eq!(fanout.findings.len(), 1);
+        assert!(fanout.findings[0].message.contains("hash iteration order"));
+    }
+}

@@ -1,0 +1,1345 @@
+//! Dimensional analysis over naming conventions.
+//!
+//! The repo's carbon arithmetic names its quantities with unit suffixes
+//! (`median_ms`, `horizon_days`, `capacity_qps`, `retry_grams`,
+//! `silicon_mass_kg`, `grams_per_kwh`, ...). This module turns those
+//! suffixes into a small dimension algebra and walks function bodies
+//! flagging arithmetic that mixes dimensions:
+//!
+//! * `+`, `-`, comparisons and `min`/`max` require **equal** dimensions;
+//! * `*` and `/` **compose** exponents (`qps * secs` = requests,
+//!   `grams / kwh` = carbon intensity);
+//! * known conversion constants carry cross-unit dimensions
+//!   (`SECONDS_PER_DAY` is `secs·days⁻¹`, so `x_days * SECONDS_PER_DAY`
+//!   is seconds) — the generic rule: any `A_PER_B` screaming-case
+//!   constant whose `A` and `B` are known units divides them;
+//! * numeric literals are wildcards; names without a unit suffix are
+//!   *unknown* and silence every check they touch.
+//!
+//! Derived units keep the algebra honest where the repo converts
+//! between families: `qps` ≡ `requests·secs⁻¹` and `watts` ≡
+//! `joules·secs⁻¹`, so `base_qps * duration_secs` is a request count and
+//! `power_watts * dt_secs` is energy. Scale-differing units (`grams` vs
+//! `kg`, `joules` vs `kwh`) are deliberately *distinct* axes: adding
+//! them is exactly the silent corruption this rule exists to catch.
+//!
+//! The checker is conservative by construction: a finding is emitted
+//! only when **both** sides of an add/sub/compare/assign parsed cleanly
+//! to *known, different* dimensions. Anything the expression parser
+//! does not understand (closures, `match`, struct-update syntax, ...)
+//! resynchronises at the nearest bracket or `;` and stays silent.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::parser::ParsedFile;
+use crate::rules::{Finding, RuleId};
+use crate::source::SourceFile;
+
+/// A dimension: canonical unit axes mapped to non-zero exponents. The
+/// empty map is "known dimensionless" (a fraction or a ratio of equals).
+pub type Dim = BTreeMap<&'static str, i32>;
+
+/// What the checker knows about one (sub)expression's dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inferred {
+    /// No information — silences every check it touches.
+    Unknown,
+    /// A bare numeric literal: compatible with anything.
+    Any,
+    /// A known dimension (possibly dimensionless: the empty map).
+    Known(Dim),
+}
+
+impl Inferred {
+    fn known(pairs: &[(&'static str, i32)]) -> Self {
+        let mut d = Dim::new();
+        for &(axis, exp) in pairs {
+            if exp != 0 {
+                d.insert(axis, exp);
+            }
+        }
+        Inferred::Known(d)
+    }
+
+    /// Renders `secs·days⁻¹` style for messages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Inferred::Unknown => "?".to_string(),
+            Inferred::Any => "scalar".to_string(),
+            Inferred::Known(d) if d.is_empty() => "dimensionless".to_string(),
+            Inferred::Known(d) => {
+                let mut parts = Vec::new();
+                for (axis, exp) in d {
+                    match exp {
+                        1 => parts.push((*axis).to_string()),
+                        _ => parts.push(format!("{axis}^{exp}")),
+                    }
+                }
+                parts.join("*")
+            }
+        }
+    }
+}
+
+/// Canonicalises one underscore-separated name segment to a unit axis
+/// (or a derived dimension). Returns `None` for non-unit segments.
+fn unit_of(segment: &str) -> Option<Inferred> {
+    let one = |axis: &'static str| Some(Inferred::known(&[(axis, 1)]));
+    match segment {
+        "ms" | "millis" | "milliseconds" => one("ms"),
+        "s" | "secs" | "sec" | "seconds" => one("secs"),
+        "minutes" => one("minutes"),
+        "hours" | "hour" | "hrs" => one("hours"),
+        "days" | "day" => one("days"),
+        "months" | "month" => one("months"),
+        "years" | "year" => one("years"),
+        "windows" => one("windows"),
+        "requests" | "request" => one("requests"),
+        // Derived: throughput is a request count per second.
+        "qps" => Some(Inferred::known(&[("requests", 1), ("secs", -1)])),
+        "grams" | "gram" | "gco2e" => one("grams"),
+        "kg" | "kilograms" => one("kg"),
+        "mg" => one("mg"),
+        // Derived: power is energy per second.
+        "watts" | "watt" => Some(Inferred::known(&[("joules", 1), ("secs", -1)])),
+        "kw" => one("kw"),
+        "wh" => one("wh"),
+        "kwh" => one("kwh"),
+        "joules" | "joule" => one("joules"),
+        "kj" => one("kj"),
+        "bytes" | "byte" => one("bytes"),
+        "percent" => one("percent"),
+        // Known-dimensionless: ratios of equal dimensions.
+        "fraction" | "frac" | "ratio" | "utilization" => Some(Inferred::known(&[])),
+        _ => None,
+    }
+}
+
+/// Compound unit suffixes that must *not* resolve via their last segment
+/// (`capacity_amp_hours` is charge, not time).
+fn compound_unit(name_lower: &str) -> Option<Inferred> {
+    if name_lower == "amp_hours" || name_lower.ends_with("_amp_hours") {
+        return Some(Inferred::known(&[("amp_hours", 1)]));
+    }
+    None
+}
+
+/// Infers the dimension of an identifier from its name: `A_per_B`
+/// compounds divide, otherwise the last underscore segment decides.
+/// Names without a recognised unit suffix are `Unknown`.
+#[must_use]
+pub fn ident_dim(name: &str) -> Inferred {
+    let lower = name.to_ascii_lowercase();
+    if let Some(d) = compound_unit(&lower) {
+        return d;
+    }
+    if let Some(split) = lower.rfind("_per_") {
+        let num = &lower[..split];
+        let den = &lower[split + "_per_".len()..];
+        let num_dim = match compound_unit(num) {
+            Some(d) => d,
+            None => num
+                .rsplit('_')
+                .next()
+                .and_then(unit_of)
+                .unwrap_or(Inferred::Unknown),
+        };
+        // A multi-segment denominator that is not itself a compound unit
+        // (`watts_per_rack_unit`) keeps the whole name unknown.
+        let den_dim = if den.contains('_') {
+            compound_unit(den).unwrap_or(Inferred::Unknown)
+        } else {
+            unit_of(den).unwrap_or(Inferred::Unknown)
+        };
+        if matches!(den_dim, Inferred::Unknown) {
+            return Inferred::Unknown;
+        }
+        return mul_div(&num_dim, &den_dim, true);
+    }
+    lower
+        .rsplit('_')
+        .next()
+        .and_then(unit_of)
+        .unwrap_or(Inferred::Unknown)
+}
+
+/// Infers the dimension of a screaming-case conversion constant:
+/// `SECONDS_PER_DAY` → `secs·days⁻¹`. Non-constant or unrecognised
+/// names are `Unknown`.
+#[must_use]
+pub fn const_dim(name: &str) -> Inferred {
+    if name.chars().any(|c| c.is_ascii_lowercase()) {
+        return Inferred::Unknown;
+    }
+    ident_dim(name)
+}
+
+/// Multiplies (or divides, when `div`) two inferred dimensions.
+#[must_use]
+pub fn mul_div(lhs: &Inferred, rhs: &Inferred, div: bool) -> Inferred {
+    match (lhs, rhs) {
+        (Inferred::Unknown, _) | (_, Inferred::Unknown) => Inferred::Unknown,
+        (Inferred::Any, Inferred::Any) => Inferred::Any,
+        (Inferred::Any, Inferred::Known(d)) => {
+            if div {
+                Inferred::Known(d.iter().map(|(a, e)| (*a, -e)).collect())
+            } else {
+                Inferred::Known(d.clone())
+            }
+        }
+        (Inferred::Known(d), Inferred::Any) => Inferred::Known(d.clone()),
+        (Inferred::Known(a), Inferred::Known(b)) => {
+            let mut out = a.clone();
+            for (axis, exp) in b {
+                let signed = if div { -exp } else { *exp };
+                let entry = out.entry(axis).or_insert(0);
+                *entry += signed;
+                if *entry == 0 {
+                    out.remove(axis);
+                }
+            }
+            Inferred::Known(out)
+        }
+    }
+}
+
+/// Whether an add/sub/compare between these two inferred dimensions is a
+/// mismatch worth flagging: both known, and different.
+#[must_use]
+pub fn conflicts(lhs: &Inferred, rhs: &Inferred) -> bool {
+    matches!((lhs, rhs), (Inferred::Known(a), Inferred::Known(b)) if a != b)
+}
+
+/// The additive combination: known dims must agree (the caller flags
+/// disagreement); wildcards adopt the other side.
+fn add_like(lhs: &Inferred, rhs: &Inferred) -> Inferred {
+    match (lhs, rhs) {
+        (Inferred::Unknown, _) | (_, Inferred::Unknown) => Inferred::Unknown,
+        (Inferred::Any, other) | (other, Inferred::Any) => other.clone(),
+        (Inferred::Known(a), Inferred::Known(b)) => {
+            if a == b {
+                lhs.clone()
+            } else {
+                Inferred::Unknown
+            }
+        }
+    }
+}
+
+/// Methods that preserve their receiver's dimension.
+const DIM_PRESERVING: [&str; 9] = [
+    "max", "min", "abs", "floor", "ceil", "round", "clamp", "value", "clone",
+];
+
+/// Result of parsing one sub-expression.
+struct Parsed {
+    dim: Inferred,
+    /// Index of the first unconsumed significant token.
+    next: usize,
+    /// The parser hit something it does not model; enclosing operators
+    /// must stay silent (brackets and `;` are the resync points).
+    stuck: bool,
+}
+
+impl Parsed {
+    fn stuck(at: usize) -> Self {
+        Parsed {
+            dim: Inferred::Unknown,
+            next: at,
+            stuck: true,
+        }
+    }
+}
+
+/// The expression checker for one file.
+pub struct Checker<'a> {
+    file: &'a SourceFile,
+    out: &'a mut Vec<Finding>,
+}
+
+impl<'a> Checker<'a> {
+    /// Runs the `unit-suffix-consistency` checks over every non-test
+    /// function body of `file`.
+    pub fn run(file: &'a SourceFile, parsed: &ParsedFile, out: &'a mut Vec<Finding>) {
+        let mut checker = Checker { file, out };
+        for f in &parsed.fns {
+            if file.sig_in_test(f.at) {
+                continue;
+            }
+            if let Some((start, end)) = f.body {
+                checker.walk_block(start, end);
+            }
+        }
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.file.sig_text(i)
+    }
+
+    fn kind(&self, i: usize) -> TokenKind {
+        self.file.sig_kind(i)
+    }
+
+    /// Two punct tokens are byte-adjacent (so `<` `<` is `<<`, not two
+    /// comparisons).
+    fn adjacent(&self, i: usize, j: usize) -> bool {
+        self.file.tokens[self.file.sig[i]].end == self.file.tokens[self.file.sig[j]].start
+    }
+
+    /// The (possibly multi-token) operator starting at `i`, greedily
+    /// combining byte-adjacent punct tokens, with its token length.
+    fn op_at(&self, i: usize, end: usize) -> (String, usize) {
+        let first = self.text(i);
+        if self.kind(i) != TokenKind::Punct {
+            return (first.to_string(), 1);
+        }
+        let mut op = first.to_string();
+        let mut len = 1;
+        while i + len < end
+            && self.kind(i + len) == TokenKind::Punct
+            && self.adjacent(i + len - 1, i + len)
+            && len < 3
+        {
+            let cand = format!("{op}{}", self.text(i + len));
+            const MULTI: [&str; 17] = [
+                "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&&", "||", "<<", ">>", "..",
+                "..=", "=>", "->",
+            ];
+            if MULTI.contains(&cand.as_str()) {
+                op = cand;
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        (op, len)
+    }
+
+    fn flag(&mut self, i: usize, message: String) {
+        self.out.push(Finding {
+            rule: RuleId::UnitSuffixConsistency,
+            path: self.file.rel_path.clone(),
+            line: self.file.sig_line(i),
+            message,
+            suppressed: None,
+        });
+    }
+
+    /// Skips to the token after the `close` matching `open` at `i`.
+    fn skip_group(&self, i: usize, end: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skips forward to the next `;` at bracket depth zero (the
+    /// statement resync point), or to `end`.
+    fn resync_stmt(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => return i + 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Walks the statements of a block body (sig range, braces excluded).
+    fn walk_block(&mut self, start: usize, end: usize) {
+        let mut i = start;
+        let mut guard = 0usize;
+        while i < end {
+            guard += 1;
+            if guard > 200_000 {
+                return;
+            }
+            let t = self.text(i).to_string();
+            match t.as_str() {
+                ";" => i += 1,
+                "{" => {
+                    let after = self.skip_group(i, end, "{", "}");
+                    self.walk_block(i + 1, after.saturating_sub(1));
+                    i = after;
+                }
+                "}" => i += 1,
+                "#" => {
+                    // Statement attribute: skip `#[...]`.
+                    i += 1;
+                    if i < end && self.text(i) == "[" {
+                        i = self.skip_group(i, end, "[", "]");
+                    }
+                }
+                "let" | "const" => i = self.walk_let(i, end),
+                "if" | "while" => i = self.walk_conditional(i, end),
+                "for" => i = self.walk_for(i, end),
+                "loop" | "unsafe" | "else" => i += 1,
+                "match" => {
+                    // Check the scrutinee, then skip the arm block whole.
+                    let p = self.expr_until_brace(i + 1, end);
+                    let mut j = p.next;
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    i = self.skip_group(j, end, "{", "}");
+                }
+                "return" | "break" => {
+                    let p = self.parse_expr(i + 1, end);
+                    i = if p.stuck {
+                        self.resync_stmt(p.next, end)
+                    } else {
+                        p.next
+                    };
+                }
+                "continue" => i += 1,
+                "fn" | "struct" | "impl" | "mod" | "trait" | "use" | "type" | "enum" | "static" => {
+                    i = self.skip_item(i, end)
+                }
+                _ => i = self.walk_expr_stmt(i, end),
+            }
+        }
+    }
+
+    /// Skips a nested item: to its `;`, or past its first balanced brace
+    /// group, whichever comes first.
+    fn skip_item(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.text(i) {
+                ";" => return i + 1,
+                "{" => return self.skip_group(i, end, "{", "}"),
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// `let [mut] name [: Type] = expr ;` — checks name dim vs expr dim.
+    fn walk_let(&mut self, at: usize, end: usize) -> usize {
+        let mut i = at + 1;
+        while i < end && self.text(i) == "mut" {
+            i += 1;
+        }
+        if i >= end || self.kind(i) != TokenKind::Ident {
+            // Tuple/struct pattern: skip to `=` then parse rhs unchecked.
+            return self.walk_let_tail(i, end, None);
+        }
+        let name_idx = i;
+        let name = self.text(i).to_string();
+        i += 1;
+        self.walk_let_tail(i, end, Some((name_idx, name)))
+    }
+
+    fn walk_let_tail(&mut self, mut i: usize, end: usize, name: Option<(usize, String)>) -> usize {
+        // Skip the optional type annotation (no `=` occurs inside it).
+        let mut depth = 0isize;
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth <= 0 => break,
+                ";" if depth <= 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        // `let ... = expr` (also tolerate `let else`: resync covers it).
+        let p = self.parse_expr(i + 1, end);
+        if let Some((name_idx, name)) = name {
+            if !p.stuck {
+                let want = ident_dim(&name);
+                if conflicts(&want, &p.dim) {
+                    self.flag(
+                        name_idx,
+                        format!(
+                            "`{name}` is bound to a value of dimension {} but its suffix says {}",
+                            p.dim.render(),
+                            want.render()
+                        ),
+                    );
+                }
+            }
+        }
+        if p.stuck {
+            self.resync_stmt(p.next, end)
+        } else {
+            p.next
+        }
+    }
+
+    /// `if cond { ... }` / `while cond { ... }`: checks the condition
+    /// expression, recurses into the block via the main walker.
+    fn walk_conditional(&mut self, at: usize, end: usize) -> usize {
+        let mut i = at + 1;
+        // `if let PAT = expr` / `while let`: skip the pattern.
+        if i < end && self.text(i) == "let" {
+            let mut depth = 0isize;
+            while i < end {
+                match self.text(i) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth <= 0 => break,
+                    "{" => return i, // malformed; let the walker recurse
+                    _ => {}
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+        let p = self.expr_until_brace(i, end);
+        // Hand the `{` back to the walker, which recurses into it.
+        let mut j = p.next;
+        while j < end && self.text(j) != "{" {
+            j += 1;
+        }
+        j
+    }
+
+    /// `for pat in expr { ... }`.
+    fn walk_for(&mut self, at: usize, end: usize) -> usize {
+        let mut i = at + 1;
+        let mut guard = 0usize;
+        while i < end && self.text(i) != "in" && guard < 64 {
+            i += 1;
+            guard += 1;
+        }
+        if i >= end || self.text(i) != "in" {
+            return at + 1;
+        }
+        let p = self.expr_until_brace(i + 1, end);
+        let mut j = p.next;
+        while j < end && self.text(j) != "{" {
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses an expression that terminates at a block-opening `{`
+    /// (condition / scrutinee / iterator position — struct literals are
+    /// not parsed here, matching rustc's restriction).
+    fn expr_until_brace(&mut self, i: usize, end: usize) -> Parsed {
+        // Find the `{` at depth 0 and parse within.
+        let mut depth = 0isize;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.parse_expr(i, j)
+    }
+
+    /// Expression statement: `lhs = rhs;`, `lhs += rhs;` or a plain
+    /// expression. Checks compound assignments dimensionally.
+    fn walk_expr_stmt(&mut self, at: usize, end: usize) -> usize {
+        // Full precedence is safe for an assignment lhs too: `=` and the
+        // compound ops terminate the expression parse.
+        let lhs = self.parse_expr(at, end);
+        if lhs.stuck {
+            return self.resync_stmt(lhs.next, end);
+        }
+        let mut i = lhs.next;
+        if i >= end {
+            return end;
+        }
+        let (op, op_len) = self.op_at(i, end);
+        let is_assign = matches!(op.as_str(), "=" | "+=" | "-=" | "*=" | "/=" | "%=");
+        if !is_assign {
+            // A plain expression statement; resync if it did not end
+            // cleanly at `;`/`}`.
+            if self.text(i) == ";" {
+                return i + 1;
+            }
+            return self.resync_stmt(i, end);
+        }
+        i += op_len;
+        let rhs = self.parse_expr(i, end);
+        if !rhs.stuck {
+            let effective = match op.as_str() {
+                "=" | "+=" | "-=" => rhs.dim.clone(),
+                "*=" => mul_div(&lhs.dim, &rhs.dim, false),
+                "/=" => mul_div(&lhs.dim, &rhs.dim, true),
+                _ => Inferred::Unknown,
+            };
+            if conflicts(&lhs.dim, &effective) {
+                self.flag(
+                    at,
+                    format!(
+                        "`{}` assignment gives a {} value to a {} place",
+                        op,
+                        effective.render(),
+                        lhs.dim.render()
+                    ),
+                );
+            }
+        }
+        if rhs.stuck {
+            self.resync_stmt(rhs.next, end)
+        } else if rhs.next < end && self.text(rhs.next) == ";" {
+            rhs.next + 1
+        } else {
+            self.resync_stmt(rhs.next, end)
+        }
+    }
+
+    /// Parses a full expression (logical precedence downwards).
+    fn parse_expr(&mut self, i: usize, end: usize) -> Parsed {
+        let lhs = self.parse_add(i, end);
+        if lhs.stuck {
+            return lhs;
+        }
+        let mut cur = lhs;
+        loop {
+            if cur.next >= end {
+                return cur;
+            }
+            let (op, op_len) = self.op_at(cur.next, end);
+            match op.as_str() {
+                "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                    let rhs = self.parse_add(cur.next + op_len, end);
+                    if rhs.stuck {
+                        return Parsed {
+                            dim: Inferred::Unknown,
+                            next: rhs.next,
+                            stuck: true,
+                        };
+                    }
+                    if conflicts(&cur.dim, &rhs.dim) {
+                        self.flag(
+                            cur.next,
+                            format!(
+                                "`{op}` compares {} with {}",
+                                cur.dim.render(),
+                                rhs.dim.render()
+                            ),
+                        );
+                    }
+                    // Comparison results are dimensionless booleans.
+                    cur = Parsed {
+                        dim: Inferred::Unknown,
+                        next: rhs.next,
+                        stuck: false,
+                    };
+                }
+                "&&" | "||" => {
+                    let rhs = self.parse_add(cur.next + op_len, end);
+                    if rhs.stuck {
+                        return Parsed {
+                            dim: Inferred::Unknown,
+                            next: rhs.next,
+                            stuck: true,
+                        };
+                    }
+                    cur = Parsed {
+                        dim: Inferred::Unknown,
+                        next: rhs.next,
+                        stuck: false,
+                    };
+                }
+                _ => return cur,
+            }
+        }
+    }
+
+    /// `mul (('+'|'-') mul)*` — flags mixed-dimension addition.
+    fn parse_add(&mut self, i: usize, end: usize) -> Parsed {
+        let mut cur = self.parse_mul(i, end);
+        if cur.stuck {
+            return cur;
+        }
+        loop {
+            if cur.next >= end {
+                return cur;
+            }
+            let (op, op_len) = self.op_at(cur.next, end);
+            if op != "+" && op != "-" {
+                return cur;
+            }
+            let op_idx = cur.next;
+            let rhs = self.parse_mul(cur.next + op_len, end);
+            if rhs.stuck {
+                return Parsed {
+                    dim: Inferred::Unknown,
+                    next: rhs.next,
+                    stuck: true,
+                };
+            }
+            if conflicts(&cur.dim, &rhs.dim) {
+                self.flag(
+                    op_idx,
+                    format!(
+                        "`{op}` mixes {} with {}",
+                        cur.dim.render(),
+                        rhs.dim.render()
+                    ),
+                );
+            }
+            cur = Parsed {
+                dim: add_like(&cur.dim, &rhs.dim),
+                next: rhs.next,
+                stuck: false,
+            };
+        }
+    }
+
+    /// `cast (('*'|'/'|'%'|shift) cast)*` — composes dimensions.
+    fn parse_mul(&mut self, i: usize, end: usize) -> Parsed {
+        let mut cur = self.parse_cast(i, end);
+        if cur.stuck {
+            return cur;
+        }
+        loop {
+            if cur.next >= end {
+                return cur;
+            }
+            let (op, op_len) = self.op_at(cur.next, end);
+            let next_dim = match op.as_str() {
+                "*" | "/" => {
+                    let rhs = self.parse_cast(cur.next + op_len, end);
+                    if rhs.stuck {
+                        return Parsed {
+                            dim: Inferred::Unknown,
+                            next: rhs.next,
+                            stuck: true,
+                        };
+                    }
+                    let dim = mul_div(&cur.dim, &rhs.dim, op == "/");
+                    (dim, rhs.next)
+                }
+                "%" => {
+                    let rhs = self.parse_cast(cur.next + op_len, end);
+                    if rhs.stuck {
+                        return Parsed {
+                            dim: Inferred::Unknown,
+                            next: rhs.next,
+                            stuck: true,
+                        };
+                    }
+                    (cur.dim.clone(), rhs.next)
+                }
+                "<<" | ">>" | "&" | "|" | "^" => {
+                    let rhs = self.parse_cast(cur.next + op_len, end);
+                    if rhs.stuck {
+                        return Parsed {
+                            dim: Inferred::Unknown,
+                            next: rhs.next,
+                            stuck: true,
+                        };
+                    }
+                    (Inferred::Unknown, rhs.next)
+                }
+                _ => return cur,
+            };
+            cur = Parsed {
+                dim: next_dim.0,
+                next: next_dim.1,
+                stuck: false,
+            };
+        }
+    }
+
+    /// `unary ('as' Type)*` — numeric casts preserve dimension.
+    fn parse_cast(&mut self, i: usize, end: usize) -> Parsed {
+        let mut cur = self.parse_unary(i, end);
+        if cur.stuck {
+            return cur;
+        }
+        while cur.next < end && self.text(cur.next) == "as" {
+            let mut j = cur.next + 1;
+            // The cast type: idents/paths, possibly `usize` etc.
+            while j < end
+                && (self.kind(j) == TokenKind::Ident || self.text(j) == "::")
+                && self.text(j) != "as"
+            {
+                j += 1;
+            }
+            cur = Parsed {
+                dim: cur.dim,
+                next: j,
+                stuck: false,
+            };
+        }
+        cur
+    }
+
+    /// Prefix operators preserve (`-`, `!`, `*`, `&`, `&mut`).
+    fn parse_unary(&mut self, i: usize, end: usize) -> Parsed {
+        if i >= end {
+            return Parsed::stuck(i);
+        }
+        match self.text(i) {
+            "-" | "!" | "*" | "&" => {
+                let mut j = i + 1;
+                while j < end && matches!(self.text(j), "&" | "mut") {
+                    j += 1;
+                }
+                self.parse_unary(j, end)
+            }
+            _ => self.parse_postfix(i, end),
+        }
+    }
+
+    /// Primary expression plus postfix chain: field access, method
+    /// calls, indexing, `?`.
+    fn parse_postfix(&mut self, i: usize, end: usize) -> Parsed {
+        let mut cur = self.parse_primary(i, end);
+        if cur.stuck {
+            return cur;
+        }
+        loop {
+            if cur.next >= end {
+                return cur;
+            }
+            match self.text(cur.next) {
+                "?" => {
+                    cur.next += 1;
+                }
+                "." => {
+                    let j = cur.next + 1;
+                    if j >= end {
+                        return cur;
+                    }
+                    if self.kind(j) == TokenKind::Number {
+                        // Tuple index.
+                        cur = Parsed {
+                            dim: Inferred::Unknown,
+                            next: j + 1,
+                            stuck: false,
+                        };
+                        continue;
+                    }
+                    if self.kind(j) != TokenKind::Ident {
+                        return cur;
+                    }
+                    let name = self.text(j).to_string();
+                    let mut k = j + 1;
+                    // Turbofish: `.collect::<Vec<_>>()`.
+                    if k + 1 < end && self.text(k) == "::" && self.text(k + 1) == "<" {
+                        let mut depth = 0isize;
+                        k += 1;
+                        while k < end {
+                            match self.text(k) {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    if k < end && self.text(k) == "(" {
+                        let (arg_dims, after) = self.parse_args(k, end);
+                        let dim = self.method_result(&name, &cur.dim, &arg_dims, j);
+                        cur = Parsed {
+                            dim,
+                            next: after,
+                            stuck: false,
+                        };
+                    } else {
+                        // Field access: the field name's suffix decides.
+                        cur = Parsed {
+                            dim: ident_dim(&name),
+                            next: k,
+                            stuck: false,
+                        };
+                    }
+                }
+                "[" => {
+                    // Indexing preserves the receiver's dimension
+                    // (`sorted_ms[mid]` is still milliseconds).
+                    let after = self.skip_group(cur.next, end, "[", "]");
+                    cur = Parsed {
+                        dim: cur.dim,
+                        next: after,
+                        stuck: false,
+                    };
+                }
+                "(" => {
+                    // Call of a non-path callee (closure var etc.).
+                    let after = self.skip_group(cur.next, end, "(", ")");
+                    cur = Parsed {
+                        dim: Inferred::Unknown,
+                        next: after,
+                        stuck: false,
+                    };
+                }
+                _ => return cur,
+            }
+        }
+    }
+
+    /// The dimension a method call produces, checking dim-sensitive
+    /// methods' arguments along the way.
+    fn method_result(
+        &mut self,
+        name: &str,
+        recv: &Inferred,
+        args: &[Inferred],
+        at: usize,
+    ) -> Inferred {
+        if DIM_PRESERVING.contains(&name) {
+            // `a_ms.max(b)` behaves additively: args must agree.
+            for arg in args {
+                if conflicts(recv, arg) {
+                    self.flag(
+                        at,
+                        format!(
+                            "`.{name}(...)` mixes {} with {}",
+                            recv.render(),
+                            arg.render()
+                        ),
+                    );
+                }
+            }
+            return recv.clone();
+        }
+        if let Some(rest) = name.strip_prefix("from_") {
+            // `TimeSpan::from_hours(x)`: the argument must be hours; the
+            // result is a newtype (normalised), so Unknown.
+            let want = ident_dim(rest);
+            if let (Some(arg), Inferred::Known(_)) = (args.first(), &want) {
+                if conflicts(&want, arg) {
+                    self.flag(
+                        at,
+                        format!(
+                            "`{name}(...)` expects {} but the argument is {}",
+                            want.render(),
+                            arg.render()
+                        ),
+                    );
+                }
+            }
+            return Inferred::Unknown;
+        }
+        // Unit-named accessors (`span.seconds()`, `span.hours()`) yield
+        // that unit; anything else is unknown.
+        match ident_dim(name) {
+            Inferred::Known(d) => Inferred::Known(d),
+            _ => Inferred::Unknown,
+        }
+    }
+
+    /// Parses a parenthesised argument list, returning each argument's
+    /// inferred dimension (Unknown for unparseable arguments) and the
+    /// index after `)`.
+    fn parse_args(&mut self, open: usize, end: usize) -> (Vec<Inferred>, usize) {
+        let close = self.skip_group(open, end, "(", ")");
+        let inner_end = close.saturating_sub(1);
+        let mut dims = Vec::new();
+        let mut i = open + 1;
+        while i < inner_end {
+            let p = self.parse_expr(i, inner_end);
+            if p.stuck {
+                dims.push(Inferred::Unknown);
+                // Resync at the next top-level comma.
+                let mut depth = 0isize;
+                let mut j = p.next;
+                while j < inner_end {
+                    match self.text(j) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            } else {
+                dims.push(p.dim);
+                if p.next < inner_end && self.text(p.next) == "," {
+                    i = p.next + 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        (dims, close)
+    }
+
+    /// Primary expressions: literals, paths (with constant and struct
+    /// literal handling), parenthesised groups.
+    fn parse_primary(&mut self, i: usize, end: usize) -> Parsed {
+        if i >= end {
+            return Parsed::stuck(i);
+        }
+        match self.kind(i) {
+            TokenKind::Number => Parsed {
+                dim: Inferred::Any,
+                next: i + 1,
+                stuck: false,
+            },
+            TokenKind::Str | TokenKind::RawStr | TokenKind::Char => Parsed {
+                dim: Inferred::Unknown,
+                next: i + 1,
+                stuck: false,
+            },
+            TokenKind::Ident => self.parse_path(i, end),
+            TokenKind::Punct => match self.text(i) {
+                "(" => {
+                    let close = self.skip_group(i, end, "(", ")");
+                    let inner = self.parse_expr(i + 1, close.saturating_sub(1));
+                    // Tuples and unparsed groups are Unknown; a cleanly
+                    // parsed single expression keeps its dimension.
+                    let dim = if inner.stuck || inner.next + 1 < close {
+                        Inferred::Unknown
+                    } else {
+                        inner.dim
+                    };
+                    Parsed {
+                        dim,
+                        next: close,
+                        stuck: false,
+                    }
+                }
+                "[" => {
+                    // Array literal: skip; Unknown.
+                    let close = self.skip_group(i, end, "[", "]");
+                    Parsed {
+                        dim: Inferred::Unknown,
+                        next: close,
+                        stuck: false,
+                    }
+                }
+                _ => Parsed::stuck(i),
+            },
+            _ => Parsed::stuck(i),
+        }
+    }
+
+    /// An ident path: `name`, `a::b::c`, a macro call (skipped), a
+    /// function call, or a struct literal.
+    fn parse_path(&mut self, i: usize, end: usize) -> Parsed {
+        let mut last = i;
+        let mut j = i + 1;
+        while j + 1 < end && self.text(j) == "::" && self.kind(j + 1) == TokenKind::Ident {
+            last = j + 1;
+            j += 2;
+        }
+        // Turbofish on the path: `Vec::<f64>::new` — treat via skip.
+        if j + 1 < end && self.text(j) == "::" && self.text(j + 1) == "<" {
+            let mut depth = 0isize;
+            let mut k = j + 1;
+            while k < end {
+                match self.text(k) {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k < end && self.text(k) == "::" && self.kind(k + 1) == TokenKind::Ident {
+                last = k + 1;
+                j = k + 2;
+            } else {
+                j = k;
+            }
+        }
+        let name = self.text(last).to_string();
+        // Macro call: `name ! ( ... )` — skip its delimiters entirely.
+        if j < end && self.text(j) == "!" {
+            let after = match self.text(j + 1) {
+                "(" => self.skip_group(j + 1, end, "(", ")"),
+                "[" => self.skip_group(j + 1, end, "[", "]"),
+                "{" => self.skip_group(j + 1, end, "{", "}"),
+                _ => j + 1,
+            };
+            return Parsed {
+                dim: Inferred::Unknown,
+                next: after,
+                stuck: false,
+            };
+        }
+        // Function / associated-fn call.
+        if j < end && self.text(j) == "(" {
+            let (arg_dims, after) = self.parse_args(j, end);
+            let dim = self.method_result(&name, &Inferred::Unknown, &arg_dims, last);
+            return Parsed {
+                dim,
+                next: after,
+                stuck: false,
+            };
+        }
+        // Struct literal: `Name { field: expr, ... }` — only when the
+        // brace is immediately followed by `field:`-shaped content and
+        // the name is capitalised (blocks after conditions never are).
+        if j < end
+            && self.text(j) == "{"
+            && name.chars().next().is_some_and(char::is_uppercase)
+            && self.looks_like_struct_body(j, end)
+        {
+            return self.parse_struct_literal(j, end);
+        }
+        // A lone ident: suffix or screaming-case constant.
+        let dim = match const_dim(&name) {
+            Inferred::Known(d) => Inferred::Known(d),
+            _ => ident_dim(&name),
+        };
+        Parsed {
+            dim,
+            next: j,
+            stuck: false,
+        }
+    }
+
+    fn looks_like_struct_body(&self, open: usize, end: usize) -> bool {
+        if open + 1 >= end {
+            return false;
+        }
+        let t1 = self.text(open + 1);
+        if t1 == "}" {
+            return true;
+        }
+        if t1 == ".." {
+            return true;
+        }
+        if self.kind(open + 1) == TokenKind::Ident && open + 2 < end {
+            return matches!(self.text(open + 2), ":" | "," | "}");
+        }
+        false
+    }
+
+    /// Parses `{ field: expr, .. }`, checking each field name's suffix
+    /// against its initialiser's dimension.
+    fn parse_struct_literal(&mut self, open: usize, end: usize) -> Parsed {
+        let close = self.skip_group(open, end, "{", "}");
+        let inner_end = close.saturating_sub(1);
+        let mut i = open + 1;
+        while i < inner_end {
+            let (op, op_len) = self.op_at(i, inner_end);
+            if op == ".." || op == "..=" {
+                // Struct-update syntax: skip the base expression.
+                let p = self.parse_expr(i + op_len, inner_end);
+                i = if p.stuck { inner_end } else { p.next };
+                continue;
+            }
+            if self.kind(i) != TokenKind::Ident {
+                break;
+            }
+            let fname = self.text(i).to_string();
+            let fidx = i;
+            if i + 1 < inner_end && self.text(i + 1) == ":" {
+                let p = self.parse_expr(i + 2, inner_end);
+                if !p.stuck {
+                    let want = ident_dim(&fname);
+                    if conflicts(&want, &p.dim) {
+                        self.flag(
+                            fidx,
+                            format!(
+                                "field `{fname}` is initialised with a {} value but its suffix \
+                                 says {}",
+                                p.dim.render(),
+                                want.render()
+                            ),
+                        );
+                    }
+                }
+                // Resync at the next top-level comma.
+                let mut depth = 0isize;
+                let mut j = p.next.min(inner_end);
+                while j < inner_end {
+                    match self.text(j) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            } else if i + 1 < inner_end && self.text(i + 1) == "," {
+                // Shorthand `Name { field, ... }`: name == value.
+                i += 2;
+            } else {
+                i += 2;
+            }
+        }
+        Parsed {
+            dim: Inferred::Unknown,
+            next: close,
+            stuck: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Vec<(u32, String)> {
+        let file = SourceFile::new("crates/x/src/lib.rs".to_string(), src.to_string(), false);
+        let parsed = parse(&file);
+        let mut out = Vec::new();
+        Checker::run(&file, &parsed, &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn mixed_unit_add_is_flagged() {
+        let hits = check("fn f(a_ms: f64, b_secs: f64) -> f64 { a_ms + b_secs }\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("ms"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("secs"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn conversion_constants_reconcile_units() {
+        let hits = check(
+            "const SECONDS_PER_DAY: f64 = 86_400.0;\n\
+             fn f(horizon_days: f64, user_secs: f64) -> f64 {\n\
+                 horizon_days * SECONDS_PER_DAY + user_secs\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn derived_qps_times_secs_is_requests() {
+        let hits = check(
+            "fn f(base_qps: f64, dt_secs: f64, total_requests: f64) -> f64 {\n\
+                 base_qps * dt_secs + total_requests\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+        let bad = check(
+            "fn f(base_qps: f64, total_requests: f64) -> f64 { base_qps + total_requests }\n",
+        );
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn suffix_conflicting_let_binding_is_flagged() {
+        let hits = check("fn f(a_ms: f64) { let total_secs = a_ms; }\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("total_secs"));
+    }
+
+    #[test]
+    fn grams_vs_kg_comparison_is_flagged() {
+        let hits =
+            check("fn f(retry_grams: f64, silicon_kg: f64) -> bool { retry_grams > silicon_kg }\n");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn division_yields_dimensionless_ratio() {
+        let hits = check(
+            "fn f(dropped_requests: f64, total_requests: f64, drop_fraction: f64) -> bool {\n\
+                 dropped_requests / total_requests > drop_fraction\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn struct_literal_field_mismatch_is_flagged() {
+        let hits = check(
+            "struct Cell { median_ms: f64 }\n\
+             fn f(tail_secs: f64) -> Cell { Cell { median_ms: tail_secs } }\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("median_ms"));
+    }
+
+    #[test]
+    fn literals_and_unknowns_stay_silent() {
+        let hits = check(
+            "fn f(a_ms: f64, b: f64) -> f64 {\n\
+                 let x = a_ms + 5.0;\n\
+                 let y = a_ms + b;\n\
+                 x + y\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unparsed_constructs_resync_silently() {
+        let hits = check(
+            "fn f(xs: &[f64], a_ms: f64) -> f64 {\n\
+                 let v: Vec<f64> = xs.iter().map(|x| x * 2.0).collect::<Vec<f64>>();\n\
+                 let m = match v.len() { 0 => 0.0, _ => 1.0 };\n\
+                 if a_ms > 1.0 { m } else { a_ms }\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn amp_hours_is_not_time() {
+        let hits = check(
+            "fn f(capacity_amp_hours: f64, runtime_hours: f64) -> bool {\n\
+             capacity_amp_hours > runtime_hours\n}\n",
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn min_max_mixing_is_flagged() {
+        let hits = check("fn f(a_ms: f64, b_secs: f64) -> f64 { a_ms.max(b_secs) }\n");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn from_constructor_argument_is_checked() {
+        let hits = check("fn f(dt_secs: f64) { let _t = TimeSpan::from_hours(dt_secs); }\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("from_hours"));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let hits = check(
+            "#[cfg(test)]\nmod tests {\n    fn f(a_ms: f64, b_secs: f64) -> f64 { a_ms + b_secs }\n}\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn ident_dim_table() {
+        assert_eq!(ident_dim("grams_per_kwh").render(), "grams*kwh^-1");
+        assert_eq!(ident_dim("windows_per_day").render(), "days^-1*windows");
+        assert_eq!(ident_dim("drop_fraction").render(), "dimensionless");
+        assert_eq!(ident_dim("watts_per_rack_unit").render(), "?");
+        assert_eq!(ident_dim("plain_name").render(), "?");
+        assert_eq!(const_dim("SECONDS_PER_DAY").render(), "days^-1*secs");
+        assert_eq!(const_dim("seconds_per_day").render(), "?");
+    }
+}

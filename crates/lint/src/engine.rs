@@ -13,8 +13,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::Baseline;
+use crate::callgraph;
+use crate::parser::{parse, ParsedFile};
 use crate::rules::{conserved_fields, scan_file, FileRole, Finding, RuleId, ALL_RULES};
 use crate::source::SourceFile;
+use crate::symbols::Symbols;
 
 /// What to scan and how paths map to rule scopes. `Config::junkyard()`
 /// is the workspace's committed configuration.
@@ -24,6 +27,10 @@ pub struct Config {
     pub bench_prefix: String,
     /// Accounting/carbon path prefixes audited by `unchecked-cast`.
     pub cast_prefixes: Vec<String>,
+    /// Files that ARE the typed-quantity boundary (the newtype and
+    /// checked-conversion modules) — exempt from `untyped-quantity`,
+    /// whose whole point is to push bare f64s behind them.
+    pub units_boundary: Vec<String>,
 }
 
 impl Config {
@@ -39,6 +46,10 @@ impl Config {
                 "crates/grid/src/".to_string(),
                 "crates/microsim/src/metrics.rs".to_string(),
                 "crates/microsim/src/sweep.rs".to_string(),
+            ],
+            units_boundary: vec![
+                "crates/carbon/src/units.rs".to_string(),
+                "crates/carbon/src/convert.rs".to_string(),
             ],
         }
     }
@@ -216,6 +227,7 @@ fn classify(rel: &str, config: &Config) -> (FileRole, bool) {
             || (rel.starts_with("crates/") && rel.contains("/src/") && !rel.contains("/src/bin/")),
         bench: rel.starts_with(&config.bench_prefix),
         cast_audited: config.cast_prefixes.iter().any(|p| rel.starts_with(p)),
+        units_boundary: config.units_boundary.iter().any(|p| p == rel),
     };
     (role, whole_file_test)
 }
@@ -248,12 +260,28 @@ pub fn analyze(root: &Path, config: &Config, baseline: &Baseline) -> Result<Anal
         }
     }
 
+    // The semantic layer: parsed items, symbol table, call graph.
+    let parsed: Vec<ParsedFile> = files.iter().map(parse).collect();
+    let symbols = Symbols::build(&parsed);
+    let bench: Vec<bool> = files
+        .iter()
+        .map(|f| classify(&f.rel_path, config).0.bench)
+        .collect();
+    let fanout = callgraph::analyze(&files, &parsed, &symbols, &bench);
+
     let mut findings: Vec<Finding> = Vec::new();
     let mut used: Vec<(String, u32, String)> = Vec::new(); // (path, line, rule) of used allows
-    for file in &files {
+    for (file_idx, file) in files.iter().enumerate() {
         let (role, _) = classify(&file.rel_path, config);
         let mut raw = Vec::new();
-        scan_file(file, role, &mut raw);
+        let empty: Vec<(usize, usize)> = Vec::new();
+        let scopes = fanout.scopes.get(file_idx).unwrap_or(&empty);
+        scan_file(file, &parsed[file_idx], role, scopes, &mut raw);
+        for finding in &fanout.findings {
+            if finding.path == file.rel_path {
+                raw.push(finding.clone());
+            }
+        }
         for field in conserved_fields(file) {
             if !test_idents.contains(field.field.as_str()) {
                 raw.push(Finding {

@@ -18,7 +18,18 @@
 //! * [`source`] — per-file context: significant tokens, `#[cfg(test)]`
 //!   ranges, parsed `// lint:allow(rule): reason` suppressions (the
 //!   reason is mandatory).
-//! * [`rules`] — the six rules and their severities (zero-tolerance vs
+//! * [`parser`] — an item-level parser (fn signatures, struct fields,
+//!   bodies) over the lexer; deliberately not a full Rust grammar.
+//! * [`symbols`] — the workspace symbol table: every fn, indexed for
+//!   name-based (over-approximate) call resolution.
+//! * [`callgraph`] — spawn-closure roots, transitive reachability, the
+//!   `fanout-purity` rule, and the fan-out scopes that re-scope the
+//!   hash-declaration facet of `nondeterministic-iteration`.
+//! * [`dims`] — the dimension algebra behind `unit-suffix-consistency`:
+//!   unit suffixes (`_ms`, `_qps`, `_grams`, ...) become dimensions;
+//!   add/sub/compare require equality, `*`/`/` compose, conversion
+//!   constants (`SECONDS_PER_DAY`) carry cross-unit dimensions.
+//! * [`rules`] — the rules and their severities (zero-tolerance vs
 //!   ratcheted).
 //! * [`baseline`] — the `lint_baseline.json` ratchet: legacy finding
 //!   counts may only go down.
@@ -30,8 +41,12 @@
 //! command as a hard gate.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dims;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;

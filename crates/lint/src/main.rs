@@ -15,7 +15,8 @@ fn main() -> ExitCode {
         print!("{}", report::contract());
         return ExitCode::SUCCESS;
     }
-    match run() {
+    let strict_ratchet = std::env::args().any(|a| a == "--strict-ratchet");
+    match run(strict_ratchet) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(message) => {
@@ -25,7 +26,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<bool, String> {
+fn run(strict_ratchet: bool) -> Result<bool, String> {
     // The workspace root: two levels above this crate's manifest, unless
     // the test harness points the scan somewhere else.
     let root = match std::env::var_os("JUNKYARD_LINT_ROOT") {
@@ -52,5 +53,18 @@ fn run() -> Result<bool, String> {
         .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
 
     print!("{}", report::human(&analysis));
+
+    // `--strict-ratchet` (CI): the committed baseline must equal the
+    // measured counts exactly, so every burn-down is locked in.
+    if strict_ratchet {
+        let drift = report::ratchet_drift(&analysis);
+        if !drift.is_empty() {
+            println!("\nFAIL (--strict-ratchet): lint_baseline.json drifted from reality:");
+            for line in &drift {
+                println!("  - {line}");
+            }
+            return Ok(false);
+        }
+    }
     Ok(analysis.passed())
 }

@@ -92,7 +92,7 @@ pub fn human(analysis: &Analysis) -> String {
 /// encodes. Hand-rolled JSON — the crate stays zero-dependency.
 #[must_use]
 pub fn json(analysis: &Analysis) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n");
     out.push_str(&format!(
         "  \"files_scanned\": {},\n  \"passed\": {},\n",
         analysis.files_scanned,
@@ -162,6 +162,40 @@ fn escape(s: &str) -> String {
         }
     }
     out.push('"');
+    out
+}
+
+/// Lines describing every ratcheted rule whose active count differs
+/// from its committed baseline. Empty means `lint_baseline.json` is
+/// exactly in sync with reality — the invariant `--strict-ratchet`
+/// (used by CI) enforces so progress is always locked in.
+#[must_use]
+pub fn ratchet_drift(analysis: &Analysis) -> Vec<String> {
+    let mut out = Vec::new();
+    for stats in &analysis.stats {
+        if !stats.rule.ratcheted() {
+            continue;
+        }
+        let name = stats.rule.name();
+        match stats.baseline {
+            None => out.push(format!(
+                "{name}: {} active findings but lint_baseline.json has no entry — add \
+                 \"{name}\": {}",
+                stats.active, stats.active
+            )),
+            Some(allowed) if (stats.active as u64) < allowed => out.push(format!(
+                "{name}: baseline says {allowed} but only {} findings remain — tighten \
+                 lint_baseline.json to {} to lock in the progress",
+                stats.active, stats.active
+            )),
+            Some(allowed) if (stats.active as u64) > allowed => out.push(format!(
+                "{name}: {} active findings exceed the baseline of {allowed} — fix or \
+                 suppress the new ones (the ratchet only goes down)",
+                stats.active
+            )),
+            Some(_) => {}
+        }
+    }
     out
 }
 

@@ -12,23 +12,34 @@
 //!   cover pre-existing panics and numeric casts being burned down
 //!   incrementally.
 
+use crate::parser::ParsedFile;
 use crate::source::SourceFile;
 
 /// Identifies one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
-    /// Iteration over `HashMap`/`HashSet` (or declaring one without a
-    /// lookup-only justification) in non-test code.
+    /// Iterating a `HashMap`/`HashSet` anywhere, or declaring one on a
+    /// fan-out path without a lookup-only justification.
     NondeterministicIteration,
     /// `Instant`/`SystemTime` outside the bench crate.
     WallClockInSim,
     /// Entropy-seeded randomness anywhere: all randomness must flow from
     /// `decorrelate_seed`.
     AmbientRng,
+    /// Arithmetic mixing unit dimensions inferred from name suffixes
+    /// (`_ms` vs `_secs`, `_grams` vs `_kg`, ...).
+    UnitSuffixConsistency,
+    /// A function reachable from a `thread::scope` spawn closure that
+    /// touches wall clocks, ambient RNG, mutable statics or
+    /// hash-iteration.
+    FanoutPurity,
     /// `unwrap()`/`.expect(` /`panic!` in non-test library code.
     PanicInLibrary,
     /// `as` numeric casts in accounting/carbon paths.
     UncheckedCast,
+    /// A bare-`f64` public param or field on an accounting path that
+    /// should carry a `junkyard_carbon::units` newtype.
+    UntypedQuantity,
     /// A numeric field of a `/// lint: conserved` struct with no
     /// reference from any test under `tests/`.
     ConservationAudit,
@@ -39,12 +50,15 @@ pub enum RuleId {
 
 /// Every real rule, in reporting order (excludes the suppression
 /// meta-rule, which only fires when a marker itself is broken).
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::NondeterministicIteration,
     RuleId::WallClockInSim,
     RuleId::AmbientRng,
+    RuleId::UnitSuffixConsistency,
+    RuleId::FanoutPurity,
     RuleId::PanicInLibrary,
     RuleId::UncheckedCast,
+    RuleId::UntypedQuantity,
     RuleId::ConservationAudit,
 ];
 
@@ -56,8 +70,11 @@ impl RuleId {
             RuleId::NondeterministicIteration => "nondeterministic-iteration",
             RuleId::WallClockInSim => "wall-clock-in-sim",
             RuleId::AmbientRng => "ambient-rng",
+            RuleId::UnitSuffixConsistency => "unit-suffix-consistency",
+            RuleId::FanoutPurity => "fanout-purity",
             RuleId::PanicInLibrary => "panic-in-library",
             RuleId::UncheckedCast => "unchecked-cast",
+            RuleId::UntypedQuantity => "untyped-quantity",
             RuleId::ConservationAudit => "conservation-audit",
             RuleId::MalformedSuppression => "malformed-suppression",
         }
@@ -73,7 +90,10 @@ impl RuleId {
     /// rather than failing outright.
     #[must_use]
     pub fn ratcheted(self) -> bool {
-        matches!(self, RuleId::PanicInLibrary | RuleId::UncheckedCast)
+        matches!(
+            self,
+            RuleId::PanicInLibrary | RuleId::UncheckedCast | RuleId::UntypedQuantity
+        )
     }
 
     /// One-line statement of the invariant the rule encodes.
@@ -83,6 +103,18 @@ impl RuleId {
             RuleId::NondeterministicIteration => {
                 "results are bit-identical at any worker count: no fan-out path may observe \
                  hash-randomized iteration order"
+            }
+            RuleId::UnitSuffixConsistency => {
+                "carbon arithmetic is dimensionally sound: quantities named with unit suffixes \
+                 never add, compare or assign across dimensions"
+            }
+            RuleId::FanoutPurity => {
+                "every function reachable from a thread::scope spawn closure is pure of wall \
+                 clocks, ambient RNG, mutable statics and hash iteration"
+            }
+            RuleId::UntypedQuantity => {
+                "public accounting quantities carry units newtypes, not bare f64; the bare count \
+                 may only go down"
             }
             RuleId::WallClockInSim => {
                 "simulated time is the only time: wall clocks exist only in the bench crate"
@@ -133,6 +165,9 @@ pub struct FileRole {
     pub bench: bool,
     /// On an accounting/carbon path — scope of `unchecked-cast`.
     pub cast_audited: bool,
+    /// The typed-quantity boundary itself (`units.rs`, `convert.rs`) —
+    /// exempt from `untyped-quantity`.
+    pub units_boundary: bool,
 }
 
 /// Newtype idents counted as numeric for the conservation audit, on top
@@ -162,7 +197,7 @@ const ITERATION_METHODS: [&str; 9] = [
 ];
 
 /// Entropy-source identifiers; any appearance is a finding.
-const AMBIENT_RNG_IDENTS: [&str; 6] = [
+pub(crate) const AMBIENT_RNG_IDENTS: [&str; 6] = [
     "thread_rng",
     "ThreadRng",
     "from_entropy",
@@ -172,12 +207,22 @@ const AMBIENT_RNG_IDENTS: [&str; 6] = [
 ];
 
 /// Runs every pattern rule over one file, appending findings.
-pub fn scan_file(file: &SourceFile, role: FileRole, out: &mut Vec<Finding>) {
-    nondeterministic_iteration(file, out);
+/// `fanout_ranges` are the file's significant-token ranges that sit on a
+/// `thread::scope` fan-out path (see `callgraph`).
+pub fn scan_file(
+    file: &SourceFile,
+    parsed: &ParsedFile,
+    role: FileRole,
+    fanout_ranges: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    nondeterministic_iteration(file, fanout_ranges, out);
     wall_clock_in_sim(file, role, out);
     ambient_rng(file, out);
+    crate::dims::Checker::run(file, parsed, out);
     panic_in_library(file, role, out);
     unchecked_cast(file, role, out);
+    untyped_quantity(file, parsed, role, out);
 }
 
 fn push(out: &mut Vec<Finding>, file: &SourceFile, rule: RuleId, line: u32, message: String) {
@@ -195,21 +240,28 @@ fn push(out: &mut Vec<Finding>, file: &SourceFile, rule: RuleId, line: u32, mess
 /// Two facets, both scoped to non-test code:
 ///
 /// * Declaring or naming a `HashMap`/`HashSet` type (outside `use`
-///   declarations) requires a `lint:allow` stating why hash ordering is
-///   unobservable — in practice "lookup-only; never iterated". Iterated
-///   maps belong in `BTreeMap`/`BTreeSet`.
+///   declarations) **on a fan-out path** requires a `lint:allow` stating
+///   why hash ordering is unobservable — in practice "lookup-only; never
+///   iterated". Off fan-out paths, serial bookkeeping may hash freely;
+///   the call graph (see `callgraph`) decides which is which.
 /// * Calling an iteration-order-observing method (`.iter()`, `.keys()`,
 ///   `.values()`, `.drain()`, ...) on a binding declared hash-typed in
-///   this file, or `for`-looping over one, is flagged at the call site.
-fn nondeterministic_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+///   this file, or `for`-looping over one, is flagged at the call site —
+///   everywhere, fan-out or not, because iteration order leaks into
+///   results regardless of threading.
+fn nondeterministic_iteration(
+    file: &SourceFile,
+    fanout_ranges: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
     let n = file.sig.len();
-    let mut hash_bindings: Vec<String> = Vec::new();
+    let in_fanout = |i: usize| fanout_ranges.iter().any(|&(lo, hi)| i >= lo && i < hi);
     for i in 0..n {
         let text = file.sig_text(i);
         if text != "HashMap" && text != "HashSet" {
             continue;
         }
-        if file.sig_in_test(i) || file.sig_in_use_decl(i) {
+        if file.sig_in_test(i) || file.sig_in_use_decl(i) || !in_fanout(i) {
             continue;
         }
         push(
@@ -218,42 +270,77 @@ fn nondeterministic_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
             RuleId::NondeterministicIteration,
             file.sig_line(i),
             format!(
-                "`{text}` in non-test code: iteration order is hash-randomized; use \
-                 `BTreeMap`/`BTreeSet` or justify with \
+                "`{text}` on a thread::scope fan-out path: iteration order is hash-randomized; \
+                 use `BTreeMap`/`BTreeSet` or justify with \
                  `lint:allow(nondeterministic-iteration): lookup-only ...`"
             ),
         );
+    }
+    let bindings = hash_bindings(file);
+    for (idx, desc) in hash_iteration_points(file, &bindings) {
+        push(
+            out,
+            file,
+            RuleId::NondeterministicIteration,
+            file.sig_line(idx),
+            format!("{desc}: order is nondeterministic"),
+        );
+    }
+}
+
+/// The names bound to `HashMap`/`HashSet` types in this file's non-test
+/// code (let bindings, params, struct fields).
+#[must_use]
+pub(crate) fn hash_bindings(file: &SourceFile) -> Vec<String> {
+    let mut bindings: Vec<String> = Vec::new();
+    for i in 0..file.sig.len() {
+        let text = file.sig_text(i);
+        if text != "HashMap" && text != "HashSet" {
+            continue;
+        }
+        if file.sig_in_test(i) || file.sig_in_use_decl(i) {
+            continue;
+        }
         if let Some(binding) = binding_of_hash_type(file, i) {
-            if !hash_bindings.contains(&binding) {
-                hash_bindings.push(binding);
+            if !bindings.contains(&binding) {
+                bindings.push(binding);
             }
         }
     }
-    if hash_bindings.is_empty() {
-        return;
+    bindings
+}
+
+/// Sites (significant-token index + description) where a hash-typed
+/// binding's iteration order is observed in non-test code.
+#[must_use]
+pub(crate) fn hash_iteration_points(
+    file: &SourceFile,
+    bindings: &[String],
+) -> Vec<(usize, String)> {
+    let mut points = Vec::new();
+    if bindings.is_empty() {
+        return points;
     }
+    let n = file.sig.len();
     for i in 0..n {
         if file.sig_in_test(i) {
             continue;
         }
         let text = file.sig_text(i);
         // `binding.iter()` and friends.
-        if hash_bindings.iter().any(|b| b == text)
+        if bindings.iter().any(|b| b == text)
             && i + 3 < n
             && file.sig_text(i + 1) == "."
             && ITERATION_METHODS.contains(&file.sig_text(i + 2))
             && file.sig_text(i + 3) == "("
         {
-            push(
-                out,
-                file,
-                RuleId::NondeterministicIteration,
-                file.sig_line(i),
+            points.push((
+                i,
                 format!(
-                    "`{text}.{}()` iterates a hash-typed binding: order is nondeterministic",
+                    "`{text}.{}()` iterates a hash-typed binding",
                     file.sig_text(i + 2)
                 ),
-            );
+            ));
         }
         // `for ... in binding {` / `for ... in &binding {`.
         if text == "for" {
@@ -269,24 +356,21 @@ fn nondeterministic_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
                     k += 1;
                 }
                 if k + 1 < n
-                    && hash_bindings.iter().any(|b| b == file.sig_text(k))
+                    && bindings.iter().any(|b| b == file.sig_text(k))
                     && file.sig_text(k + 1) == "{"
                 {
-                    push(
-                        out,
-                        file,
-                        RuleId::NondeterministicIteration,
-                        file.sig_line(i),
+                    points.push((
+                        i,
                         format!(
-                            "`for ... in {}` iterates a hash-typed binding: order is \
-                             nondeterministic",
+                            "`for ... in {}` iterates a hash-typed binding",
                             file.sig_text(k)
                         ),
-                    );
+                    ));
                 }
             }
         }
     }
+    points
 }
 
 /// Resolves the binding name a `HashMap`/`HashSet` type mention at
@@ -420,6 +504,61 @@ fn unchecked_cast(file: &SourceFile, role: FileRole, out: &mut Vec<Finding>) {
                 file.sig_text(i + 1)
             ),
         );
+    }
+}
+
+/// Rule: `untyped-quantity` — bare-`f64` public params and fields on
+/// accounting paths. Ratcheted: migrate to `junkyard_carbon::units`
+/// newtypes to burn the count down.
+fn untyped_quantity(
+    file: &SourceFile,
+    parsed: &ParsedFile,
+    role: FileRole,
+    out: &mut Vec<Finding>,
+) {
+    if !role.cast_audited || role.units_boundary {
+        return;
+    }
+    for s in &parsed.structs {
+        if !s.is_pub || file.sig_in_test(s.at) {
+            continue;
+        }
+        for field in &s.fields {
+            if field.is_bare_f64() {
+                push(
+                    out,
+                    file,
+                    RuleId::UntypedQuantity,
+                    field.line,
+                    format!(
+                        "field `{}::{}` is a bare f64 on an accounting path: carry a \
+                         `junkyard_carbon::units` newtype",
+                        s.name, field.name
+                    ),
+                );
+            }
+        }
+    }
+    for f in &parsed.fns {
+        if !f.is_pub || file.sig_in_test(f.at) {
+            continue;
+        }
+        for param in &f.params {
+            if param.is_bare_f64() {
+                push(
+                    out,
+                    file,
+                    RuleId::UntypedQuantity,
+                    param.line,
+                    format!(
+                        "param `{}` of pub fn `{}` is a bare f64 on an accounting path: carry a \
+                         `junkyard_carbon::units` newtype",
+                        param.name,
+                        f.qualified()
+                    ),
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,143 @@
+//! The workspace symbol table: every parsed `fn` item across every
+//! scanned file, indexed for name-based call resolution.
+//!
+//! Resolution is deliberately an **over-approximation**: calls resolve
+//! by name (and by `Type::method` qualifier when one matches), with no
+//! module or trait resolution. For the purity rules built on top this
+//! errs on the side of reporting — a spurious edge can only make a
+//! function *more* reachable, never hide an impure one.
+
+use std::collections::BTreeMap;
+
+use crate::parser::{FnItem, ParsedFile};
+
+/// A function's identity in the workspace: `(file index, fn index)`.
+pub type FnRef = (usize, usize);
+
+/// One call site, as recovered from the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `name(...)` — a free function or locally-`use`d item.
+    Plain(String),
+    /// `Qualifier::name(...)`.
+    Qualified(String, String),
+    /// `receiver.name(...)`.
+    Method(String),
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Simple name → every fn with that name.
+    by_name: BTreeMap<String, Vec<FnRef>>,
+    /// `(self type, name)` → fns matching both.
+    by_qualified: BTreeMap<(String, String), Vec<FnRef>>,
+}
+
+impl Symbols {
+    /// Indexes the fns of every parsed file (`parsed[i]` corresponds to
+    /// file index `i`).
+    #[must_use]
+    pub fn build(parsed: &[ParsedFile]) -> Self {
+        let mut s = Symbols::default();
+        for (file_idx, p) in parsed.iter().enumerate() {
+            for (fn_idx, f) in p.fns.iter().enumerate() {
+                let r: FnRef = (file_idx, fn_idx);
+                s.by_name.entry(f.name.clone()).or_default().push(r);
+                if let Some(ty) = &f.self_ty {
+                    s.by_qualified
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(r);
+                }
+            }
+        }
+        s
+    }
+
+    /// Looks up the fn item behind a reference.
+    #[must_use]
+    pub fn item<'a>(&self, parsed: &'a [ParsedFile], r: FnRef) -> &'a FnItem {
+        &parsed[r.0].fns[r.1]
+    }
+
+    /// Resolves one call to candidate fns, over-approximately:
+    ///
+    /// * plain calls match every fn with the name (free fns and
+    ///   associated fns alike — `use`d paths erase the qualifier);
+    /// * qualified calls prefer fns whose `impl` type matches the
+    ///   qualifier, falling back to by-name (the qualifier may be a
+    ///   module path segment);
+    /// * method calls match fns with the name defined in *some* `impl`
+    ///   block.
+    #[must_use]
+    pub fn resolve(&self, parsed: &[ParsedFile], call: &Call) -> Vec<FnRef> {
+        match call {
+            Call::Plain(name) => self.by_name.get(name).cloned().unwrap_or_default(),
+            Call::Qualified(qual, name) => {
+                if let Some(hits) = self.by_qualified.get(&(qual.clone(), name.clone())) {
+                    return hits.clone();
+                }
+                self.by_name.get(name).cloned().unwrap_or_default()
+            }
+            Call::Method(name) => self
+                .by_name
+                .get(name)
+                .map(|hits| {
+                    hits.iter()
+                        .copied()
+                        .filter(|&r| self.item(parsed, r).self_ty.is_some())
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::source::SourceFile;
+
+    fn parsed_files(srcs: &[&str]) -> Vec<ParsedFile> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, src)| {
+                parse(&SourceFile::new(
+                    format!("crates/c{i}/src/lib.rs"),
+                    (*src).to_string(),
+                    false,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_impl_type() {
+        let parsed = parsed_files(&[
+            "struct A; impl A { fn go(&self) {} }\nstruct B; impl B { fn go(&self) {} }\n",
+        ]);
+        let s = Symbols::build(&parsed);
+        let hits = s.resolve(&parsed, &Call::Qualified("A".into(), "go".into()));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.item(&parsed, hits[0]).qualified(), "A::go");
+        // Method calls over-approximate to both impls.
+        assert_eq!(s.resolve(&parsed, &Call::Method("go".into())).len(), 2);
+    }
+
+    #[test]
+    fn plain_calls_resolve_across_files() {
+        let parsed = parsed_files(&["pub fn helper() {}", "fn caller() { }"]);
+        let s = Symbols::build(&parsed);
+        let hits = s.resolve(&parsed, &Call::Plain("helper".into()));
+        assert_eq!(hits, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn method_resolution_ignores_free_fns() {
+        let parsed = parsed_files(&["pub fn poll() {}"]);
+        let s = Symbols::build(&parsed);
+        assert!(s.resolve(&parsed, &Call::Method("poll".into())).is_empty());
+    }
+}

@@ -26,7 +26,8 @@ fn run(baseline_json: &str) -> Analysis {
 }
 
 /// The exact fixture baseline: the counts the fixture is committed at.
-const EXACT: &str = r#"{"schema":1,"ratchets":{"panic-in-library":1,"unchecked-cast":2}}"#;
+const EXACT: &str =
+    r#"{"schema":1,"ratchets":{"panic-in-library":1,"unchecked-cast":2,"untyped-quantity":6}}"#;
 
 /// The (line, suppressed) signature of every finding of one rule in the
 /// fixture library file.
@@ -43,40 +44,77 @@ fn lines_of(analysis: &Analysis, rule: RuleId) -> Vec<(u32, bool)> {
 fn every_rule_fires_and_every_suppression_suppresses() {
     let analysis = run(EXACT);
 
-    // Rule 1: declaration sites and the iteration call site fire; the
-    // reasoned allow over `probe` suppresses its declaration.
+    // Rule 1: the iteration call site fires everywhere (line 11), but
+    // declarations only fire on the fan-out path: `votes` (line 10) and
+    // `cache` (line 15) are off-path and silent, `seen` (line 23) is in
+    // the spawn closure and fires, and the allow over `lookup` (line
+    // 26) suppresses its in-scope declaration.
     assert_eq!(
         lines_of(&analysis, RuleId::NondeterministicIteration),
-        vec![(8, false), (9, false), (13, true)]
+        vec![(11, false), (23, false), (26, true)]
     );
 
-    // Rule 2: the bare `Instant::now` fires; the one-liner under the
+    // Rule 2: every wall-clock read fires — inside `clocked` (35) and
+    // `stamped` (42) and in serial code (57); the one-liner under the
     // allow is suppressed (two mentions on one line dedup to one).
     assert_eq!(
         lines_of(&analysis, RuleId::WallClockInSim),
-        vec![(18, false), (23, true)]
+        vec![(35, false), (42, false), (57, false), (62, true)]
     );
 
     // Rule 3: entropy-seeded RNG fires; test code stays quiet.
-    assert_eq!(lines_of(&analysis, RuleId::AmbientRng), vec![(26, false)]);
+    assert_eq!(lines_of(&analysis, RuleId::AmbientRng), vec![(65, false)]);
 
-    // Rule 4: `.unwrap()` fires; the allowed `.expect(` is suppressed.
+    // Rule 4 (call graph): both helpers are reachable from the spawn
+    // closure and impure; findings land on the `fn` lines. The allow
+    // over `stamped` suppresses it, `clocked` stays active. The equally
+    // impure `wall_elapsed` (line 56) is off-path and NOT flagged here.
+    let fanout = lines_of(&analysis, RuleId::FanoutPurity);
+    assert_eq!(fanout, vec![(34, false), (41, true)]);
+    assert!(analysis.findings.iter().any(|f| {
+        f.rule == RuleId::FanoutPurity
+            && f.message.contains("fn `clocked`")
+            && f.message.contains("wall clock")
+    }));
+
+    // Rule 5 (dimension algebra): adding ms to secs fires on the `+`
+    // line; the suffix-conflicting rebinding under the allow is
+    // suppressed.
+    assert_eq!(
+        lines_of(&analysis, RuleId::UnitSuffixConsistency),
+        vec![(47, false), (52, true)]
+    );
+
+    // Rule 6: `.unwrap()` fires; the allowed `.expect(` is suppressed.
     assert_eq!(
         lines_of(&analysis, RuleId::PanicInLibrary),
-        vec![(31, false), (35, true)]
+        vec![(70, false), (74, true)]
     );
 
-    // Rule 5: both bare casts fire (the reasonless marker on line 45
-    // suppresses nothing); the trailing allow on line 42 works.
+    // Rule 7: both bare casts fire (the reasonless marker on line 84
+    // suppresses nothing); the trailing allow on line 81 works.
     assert_eq!(
         lines_of(&analysis, RuleId::UncheckedCast),
-        vec![(38, false), (42, true), (47, false)]
+        vec![(77, false), (81, true), (86, false)]
     );
 
-    // Rule 6: `pinned_total` is referenced by the fixture's tests/, so
+    // Rule 8: bare-f64 pub params and fields (same-line params dedup).
+    assert_eq!(
+        lines_of(&analysis, RuleId::UntypedQuantity),
+        vec![
+            (46, false),
+            (50, false),
+            (76, false),
+            (85, false),
+            (99, false),
+            (100, false)
+        ]
+    );
+
+    // Rule 9: `pinned_total` is referenced by the fixture's tests/, so
     // only `forgotten_total` escapes.
     let conservation = lines_of(&analysis, RuleId::ConservationAudit);
-    assert_eq!(conservation, vec![(61, false)]);
+    assert_eq!(conservation, vec![(100, false)]);
     assert!(analysis
         .findings
         .iter()
@@ -86,39 +124,44 @@ fn every_rule_fires_and_every_suppression_suppresses() {
     // both findings; the stale-but-valid allow is only a note.
     assert_eq!(
         lines_of(&analysis, RuleId::MalformedSuppression),
-        vec![(45, false), (50, false)]
+        vec![(84, false), (89, false)]
     );
     assert_eq!(analysis.unused_suppressions.len(), 1);
     assert_eq!(analysis.unused_suppressions[0].path, LIB);
-    assert_eq!(analysis.unused_suppressions[0].line, 53);
+    assert_eq!(analysis.unused_suppressions[0].line, 92);
     assert_eq!(analysis.unused_suppressions[0].rule, "ambient-rng");
 
     // Test code fired nothing: every finding sits outside the
-    // `#[cfg(test)]` module (first line 64).
-    assert!(analysis.findings.iter().all(|f| f.line < 64));
+    // `#[cfg(test)]` module (first line 103).
+    assert!(analysis.findings.iter().all(|f| f.line < 103));
 }
 
 #[test]
 fn ratchet_accepts_exact_counts_and_rejects_increases() {
-    // At the committed counts, both ratchets hold (the fixture still
-    // fails overall on its zero-tolerance actives — that is the point
-    // of the fixture, not of the ratchet).
+    // At the committed counts, all three ratchets hold (the fixture
+    // still fails overall on its zero-tolerance actives — that is the
+    // point of the fixture, not of the ratchet).
     let at_baseline = run(EXACT);
     assert!(!at_baseline.stats_for(RuleId::PanicInLibrary).failed());
     assert!(!at_baseline.stats_for(RuleId::UncheckedCast).failed());
+    assert!(!at_baseline.stats_for(RuleId::UntypedQuantity).failed());
     assert!(!at_baseline.passed());
 
     // One fewer allowed panic: the same tree now exceeds the ratchet.
-    let tightened = run(r#"{"schema":1,"ratchets":{"panic-in-library":0,"unchecked-cast":2}}"#);
+    let tightened = run(
+        r#"{"schema":1,"ratchets":{"panic-in-library":0,"unchecked-cast":2,"untyped-quantity":6}}"#,
+    );
     assert!(tightened.stats_for(RuleId::PanicInLibrary).failed());
     assert!(!tightened.stats_for(RuleId::UncheckedCast).failed());
 
     // A missing ratchet entry means zero tolerance for that rule.
-    let missing = run(r#"{"schema":1,"ratchets":{"panic-in-library":1}}"#);
+    let missing = run(r#"{"schema":1,"ratchets":{"panic-in-library":1,"untyped-quantity":6}}"#);
     assert!(missing.stats_for(RuleId::UncheckedCast).failed());
 
     // A generous allowance passes the ratchet and reports headroom.
-    let slack = run(r#"{"schema":1,"ratchets":{"panic-in-library":9,"unchecked-cast":9}}"#);
+    let slack = run(
+        r#"{"schema":1,"ratchets":{"panic-in-library":9,"unchecked-cast":9,"untyped-quantity":9}}"#,
+    );
     assert!(!slack.stats_for(RuleId::PanicInLibrary).failed());
     assert_eq!(slack.stats_for(RuleId::PanicInLibrary).baseline, Some(9));
 }

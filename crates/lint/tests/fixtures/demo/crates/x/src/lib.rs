@@ -5,13 +5,52 @@
 
 use std::collections::HashMap;
 
+// Iterating a hash map leaks hash order into results everywhere, even
+// off fan-out paths; declaring one is only flagged on fan-out paths.
 pub fn tally(votes: &HashMap<String, u64>) -> u64 {
     votes.values().sum()
 }
 
-// lint:allow(nondeterministic-iteration): lookup-only fixture map
+// A lookup-only map off every fan-out path needs no allow at all.
 pub fn probe(cache: &HashMap<u64, u64>, key: u64) -> Option<u64> {
     cache.get(&key).copied()
+}
+
+pub fn fan_out(jobs: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut seen: HashMap<u64, u64> = HashMap::new();
+            seen.insert(jobs[0], 1);
+            // lint:allow(nondeterministic-iteration): lookup-only scratch map
+            let lookup: HashMap<u64, u64> = HashMap::new();
+            let _ = lookup.get(&0);
+            total = clocked(jobs) + stamped(jobs);
+        });
+    });
+    total
+}
+
+fn clocked(jobs: &[u64]) -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    jobs.first().copied().unwrap_or(0)
+}
+
+// lint:allow(fanout-purity): fixture demonstrates suppression
+fn stamped(jobs: &[u64]) -> u64 {
+    let _t = std::time::SystemTime::now();
+    jobs.last().copied().unwrap_or(0)
+}
+
+pub fn mix(window_ms: f64, budget_secs: f64) -> f64 {
+    window_ms + budget_secs
+}
+
+pub fn relabel(span_ms: f64) -> f64 {
+    // lint:allow(unit-suffix-consistency): fixture demonstrates suppression
+    let span_hours = span_ms;
+    span_hours
 }
 
 pub fn wall_elapsed() -> u64 {

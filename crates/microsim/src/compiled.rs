@@ -457,7 +457,8 @@ impl CompiledSim {
             client_workers: app.client_workers(),
             intra_secs: network.hop_latency_secs(true),
             inter_secs: network.hop_latency_secs(false),
-            client_latency_secs: network.client_latency_ms() / 1_000.0,
+            client_latency_secs: network.client_latency_ms()
+                / junkyard_carbon::units::MILLIS_PER_SEC,
             client_request_tx_secs: network.transmission_secs(CLIENT_REQUEST_BYTES),
         }
     }

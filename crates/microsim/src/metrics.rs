@@ -1,6 +1,7 @@
 //! Measurement containers: latency distributions and per-node CPU
 //! utilisation traces.
 
+use junkyard_carbon::convert::{count_f64, counts_ratio, floor_index, percentile_rank};
 use serde::{Deserialize, Serialize};
 
 /// A latency distribution, in milliseconds.
@@ -13,7 +14,7 @@ impl LatencyStats {
     /// Builds statistics from raw latency samples (milliseconds).
     #[must_use]
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted_ms: samples }
     }
 
@@ -40,10 +41,7 @@ impl LatencyStats {
         if self.sorted_ms.is_empty() {
             return None;
         }
-        let rank = p / 100.0 * (self.sorted_ms.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
+        let (lo, hi, frac) = percentile_rank(p, self.sorted_ms.len());
         Some(self.sorted_ms[lo] * (1.0 - frac) + self.sorted_ms[hi] * frac)
     }
 
@@ -72,7 +70,7 @@ impl LatencyStats {
         if self.sorted_ms.is_empty() {
             None
         } else {
-            Some(self.sorted_ms.iter().sum::<f64>() / self.sorted_ms.len() as f64)
+            Some(self.sorted_ms.iter().sum::<f64>() / count_f64(self.sorted_ms.len()))
         }
     }
 
@@ -151,7 +149,7 @@ impl NodeUtilization {
     }
 
     fn bucket(at: f64, len: usize) -> usize {
-        (at.max(0.0).floor() as usize).min(len.saturating_sub(1))
+        floor_index(at).min(len.saturating_sub(1))
     }
 
     /// Number of one-second buckets.
@@ -191,7 +189,7 @@ impl NodeUtilization {
         if from >= to {
             return 0.0;
         }
-        (from..to).map(|i| self.total_percent(i)).sum::<f64>() / (to - from) as f64
+        (from..to).map(|i| self.total_percent(i)).sum::<f64>() / count_f64(to - from)
     }
 }
 
@@ -410,7 +408,7 @@ impl RunMetrics {
         if self.offered == 0 {
             0.0
         } else {
-            self.dropped_arrivals.len() as f64 / self.offered as f64
+            counts_ratio(self.dropped_arrivals.len(), self.offered)
         }
     }
 
@@ -431,7 +429,7 @@ impl RunMetrics {
         if measured == 0 {
             0.0
         } else {
-            dropped as f64 / measured as f64
+            counts_ratio(dropped, measured)
         }
     }
 

@@ -387,6 +387,10 @@ pub enum SimError {
     NoNodes,
     /// A phase requested a request type the application does not define.
     UnknownRequestType(String),
+    /// A fan-out worker terminated without filling its result slot (only
+    /// possible if the worker itself died; never observed on a healthy
+    /// run, but typed so the fan-out drivers stay panic-free).
+    WorkerLost,
 }
 
 impl fmt::Display for SimError {
@@ -395,6 +399,7 @@ impl fmt::Display for SimError {
             SimError::IncompletePlacement => f.write_str("placement does not cover every service"),
             SimError::NoNodes => f.write_str("the cluster has no nodes"),
             SimError::UnknownRequestType(name) => write!(f, "unknown request type {name}"),
+            SimError::WorkerLost => f.write_str("a fan-out worker died before filling its slot"),
         }
     }
 }

@@ -9,6 +9,8 @@
 
 use std::thread;
 
+use junkyard_carbon::convert::{counts_ratio, index_u64};
+
 use serde::{Deserialize, Serialize};
 
 use crate::compiled::CompiledSim;
@@ -264,7 +266,7 @@ impl SweepConfig {
     /// The workload seed used for the load point at `index`.
     fn point_seed(&self, index: usize) -> u64 {
         if self.decorrelate_seeds {
-            decorrelate_seed(self.seed, index as u64)
+            decorrelate_seed(self.seed, index_u64(index))
         } else {
             self.seed
         }
@@ -286,7 +288,7 @@ impl SweepConfig {
         let drop_fraction = if measured == 0 {
             0.0
         } else {
-            dropped as f64 / measured as f64
+            counts_ratio(dropped, measured)
         };
         Ok(CurvePoint::new(
             qps,
@@ -365,7 +367,7 @@ impl SweepConfig {
         }
         let mut points = Vec::with_capacity(n);
         for slot in slots {
-            points.push(slot.expect("every sweep slot is filled by its worker")?);
+            points.push(slot.ok_or(SimError::WorkerLost)??);
         }
         Ok(LatencyCurve::new(label, points))
     }

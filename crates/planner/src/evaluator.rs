@@ -312,9 +312,8 @@ pub trait Evaluator: Sync {
 /// values — are identical at any worker count.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    // lint:allow(nondeterministic-iteration): lookup-only — the cache is
-    // only ever probed by exact (fingerprint, fidelity) key and never
-    // iterated, so hash order is unobservable.
+    // The cache is only ever probed by exact (fingerprint, fidelity)
+    // key and never iterated, so hash order is unobservable.
     entries: HashMap<(u64, u64), Result<Evaluation, EvalError>>,
     hits: u64,
     misses: u64,

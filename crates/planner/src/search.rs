@@ -305,8 +305,8 @@ pub fn evaluate_batch<E: Evaluator + ?Sized>(
         (0..batch.len()).map(|_| None).collect();
     // Serial pass: serve cached results, dedup the rest by fingerprint.
     let mut pending: Vec<usize> = Vec::new();
-    // lint:allow(nondeterministic-iteration): lookup-only — fingerprints
-    // are probed by key; batch order alone decides result placement.
+    // Fingerprints are probed by key; batch order alone decides
+    // result placement.
     let mut pending_of: HashMap<u64, usize> = HashMap::new();
     let mut followers: Vec<(usize, usize)> = Vec::new();
     for (index, candidate) in batch.iter().enumerate() {
@@ -517,11 +517,9 @@ pub fn search<E: Evaluator + ?Sized>(
 
     // Everything scored at the final fidelity, first occurrence wins.
     let mut scored: Vec<(CandidateDeployment, Result<Evaluation, EvalError>)> = Vec::new();
-    // lint:allow(nondeterministic-iteration): lookup-only — dedup by
-    // exact fingerprint; `scored` keeps first-occurrence order.
+    // Dedup by exact fingerprint; `scored` keeps first-occurrence order.
     let mut seen: HashMap<u64, usize> = HashMap::new();
     let absorb = |scored: &mut Vec<(CandidateDeployment, Result<Evaluation, EvalError>)>,
-                  // lint:allow(nondeterministic-iteration): lookup-only — same map, borrowed
                   seen: &mut HashMap<u64, usize>,
                   candidate: &CandidateDeployment,
                   result: &Result<Evaluation, EvalError>| {
