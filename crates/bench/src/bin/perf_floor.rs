@@ -1,0 +1,107 @@
+//! Ratchet-style performance floor: checks a freshly generated
+//! `BENCH_microsim.json` against the committed `bench_floor.json` and
+//! fails the build when the engine slips below the floor.
+//!
+//! Two checks, both calibrated with wide headroom so only a real
+//! regression (or a genuinely broken fan-out) trips them:
+//!
+//! * every fixed scenario must sustain at least `min_events_per_sec`
+//!   engine events per wall second;
+//! * when the sweep actually fanned out (`workers >= 2`), the threaded
+//!   sweep must beat the serial one by at least `min_sweep_speedup`. On
+//!   a one-core runner (`workers == 1`) the check is skipped and says
+//!   so — a capped fan-out is an environment fact, not a regression,
+//!   and the report now records the worker count so nobody mistakes
+//!   one for the other again.
+//!
+//! The floor file is committed and only ever tightened deliberately;
+//! this binary never rewrites it.
+//!
+//! Usage: `cargo run --release --bin perf_floor [BENCH_microsim.json [bench_floor.json]]`
+
+use std::process::ExitCode;
+
+/// Every number appearing as `"key": <number>` in `json`, in order.
+fn numbers_for(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let value: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | 'e' | 'E' | '+'))
+            .collect();
+        if let Ok(number) = value.parse::<f64>() {
+            out.push(number);
+        }
+    }
+    out
+}
+
+/// The first number for `key`, or an explicit failure naming the file.
+fn number_for(json: &str, key: &str, file: &str) -> f64 {
+    *numbers_for(json, key)
+        .first()
+        .unwrap_or_else(|| panic!("{file} is missing \"{key}\""))
+}
+
+fn main() -> ExitCode {
+    let bench_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_microsim.json".to_owned());
+    let floor_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "bench_floor.json".to_owned());
+
+    let bench = std::fs::read_to_string(&bench_path).expect("bench report is readable");
+    let floor = std::fs::read_to_string(&floor_path).expect("floor file is readable");
+
+    let min_events_per_sec = number_for(&floor, "min_events_per_sec", &floor_path);
+    let min_sweep_speedup = number_for(&floor, "min_sweep_speedup", &floor_path);
+
+    let mut failures = 0usize;
+    println!("Performance floor ({bench_path} vs {floor_path}):\n");
+
+    let rates = numbers_for(&bench, "events_per_sec");
+    assert!(
+        !rates.is_empty(),
+        "{bench_path} has no scenario throughput entries"
+    );
+    for (i, rate) in rates.iter().enumerate() {
+        let ok = *rate >= min_events_per_sec;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  scenario {i}: {rate:.0} events/sec (floor {min_events_per_sec:.0}) {}",
+            if ok { "ok" } else { "FAIL" },
+        );
+    }
+
+    let workers = number_for(&bench, "workers", &bench_path);
+    let speedup = number_for(&bench, "speedup", &bench_path);
+    if workers >= 2.0 {
+        let ok = speedup >= min_sweep_speedup;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  sweep: {speedup:.2}x over {workers:.0} workers (floor {min_sweep_speedup:.2}x) {}",
+            if ok { "ok" } else { "FAIL" },
+        );
+    } else {
+        println!(
+            "  sweep: {speedup:.2}x — skipped, fan-out capped at {workers:.0} worker \
+             (one-core runner)",
+        );
+    }
+
+    if failures > 0 {
+        println!("\n{failures} floor check(s) FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall floor checks passed");
+    ExitCode::SUCCESS
+}

@@ -4,8 +4,18 @@
 //! and writes the numbers to `BENCH_microsim.json` so the engine's perf
 //! trajectory — including the coupled fleet path — is tracked across PRs.
 //!
-//! Usage: `cargo run --release --bin perf_report [output.json]`
-//! (default output path: `BENCH_microsim.json` in the working directory).
+//! Every top-level phase runs under the serial-side
+//! [`junkyard_obs::Profiler`]: the report gains a `"profile"` section
+//! (per-stage inclusive wall ms) and a collapsed-stack sidecar
+//! (`PROFILE.folded`, flamegraph-ready) next to the JSON. The sweep
+//! entry reports the worker count actually used and each worker's
+//! deterministic event share, so a silently capped fan-out (one-core
+//! runner, `available_parallelism() == 1`) is visible in the numbers
+//! instead of masquerading as a threading regression.
+//!
+//! Usage: `cargo run --release --bin perf_report [output.json [profile.folded]]`
+//! (defaults: `BENCH_microsim.json` and `PROFILE.folded` in the working
+//! directory).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,6 +31,7 @@ use junkyard_microsim::node::ten_pixel_cloudlet;
 use junkyard_microsim::placement::Placement;
 use junkyard_microsim::sim::{Simulation, Workload};
 use junkyard_microsim::sweep::SweepConfig;
+use junkyard_obs::{Profiler, TraceRecorder};
 
 /// Timed result of one fixed scenario.
 struct ScenarioResult {
@@ -80,70 +91,112 @@ fn main() {
     let output = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_microsim.json".to_owned());
+    let folded_output = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "PROFILE.folded".to_owned());
 
-    let social = phone_cloudlet(social_network()).compile();
-    let hotel = phone_cloudlet(hotel_reservation()).compile();
+    let mut profiler = Profiler::new();
+    profiler.start("perf_report");
+
+    let (social, hotel) = profiler.time("compile", || {
+        (
+            phone_cloudlet(social_network()).compile(),
+            phone_cloudlet(hotel_reservation()).compile(),
+        )
+    });
 
     let load_points = [1_000.0, 3_000.0, 5_000.0];
     let mut scenarios = Vec::new();
+    profiler.start("scenarios");
     for qps in load_points {
-        scenarios.push(run_scenario(
-            &social,
-            "SocialNetwork",
-            Some(SN_COMPOSE_POST),
-            qps,
-            2.0,
-        ));
+        scenarios.push(profiler.time(&format!("social-{qps}qps"), || {
+            run_scenario(&social, "SocialNetwork", Some(SN_COMPOSE_POST), qps, 2.0)
+        }));
     }
     for qps in load_points {
-        scenarios.push(run_scenario(&hotel, "HotelReservation", None, qps, 2.0));
+        scenarios.push(profiler.time(&format!("hotel-{qps}qps"), || {
+            run_scenario(&hotel, "HotelReservation", None, qps, 2.0)
+        }));
     }
+    profiler.stop();
 
     // Serial vs threaded sweep over eight load points (same curve either
     // way; the ratio tracks the threading win on this machine).
+    profiler.start("sweep");
     let sweep_points: Vec<f64> = (1..=8).map(|i| f64::from(i) * 600.0).collect();
     let sweep = SweepConfig::new(sweep_points.clone(), 2.0, 0.5).request_type(SN_COMPOSE_POST);
-    let serial_start = Instant::now();
-    let serial_curve = sweep
-        .clone()
-        .parallelism(1)
-        .run_compiled("phones", &social)
-        .expect("sweep runs");
-    let sweep_serial_ms = serial_start.elapsed().as_secs_f64() * 1_000.0;
-    let threaded_start = Instant::now();
-    let threaded_curve = sweep.run_compiled("phones", &social).expect("sweep runs");
-    let sweep_threaded_ms = threaded_start.elapsed().as_secs_f64() * 1_000.0;
+    let serial_curve = profiler.time("serial", || {
+        sweep
+            .clone()
+            .parallelism(1)
+            .run_compiled("phones", &social)
+            .expect("sweep runs")
+    });
+    let threaded_curve = profiler.time("threaded", || {
+        sweep.run_compiled("phones", &social).expect("sweep runs")
+    });
     assert_eq!(
         serial_curve, threaded_curve,
         "threaded sweeps must be point-identical to serial ones"
     );
+    let sweep_serial_ms = profiler
+        .stage_ms("perf_report;sweep;serial")
+        .expect("serial stage timed");
+    let sweep_threaded_ms = profiler
+        .stage_ms("perf_report;sweep;threaded")
+        .expect("threaded stage timed");
+    // The same sweep once more with the recorder attached: the per-point
+    // engine event counts give each worker's deterministic share of the
+    // work (wall clocks cannot cross the fan-out boundary).
+    let sweep_workers = sweep.effective_workers();
+    let mut sweep_recorder = TraceRecorder::new();
+    let traced_sweep = profiler.time("traced", || {
+        sweep
+            .run_compiled_traced("phones", &social, &mut sweep_recorder)
+            .expect("traced sweep runs")
+    });
+    assert_eq!(
+        traced_sweep.curve, threaded_curve,
+        "the traced sweep must reproduce the untraced curve"
+    );
+    let sweep_utilisation = traced_sweep.worker_utilisation();
+    profiler.stop();
 
     // The coupled fleet path: the quick two-region study (both routing
     // policies), timed end to end so regressions in the fleet layer show
     // up alongside the engine scenarios.
-    let fleet_start = Instant::now();
-    let fleet = FleetStudy::quick().run().expect("the fleet study runs");
-    let fleet_wall_ms = fleet_start.elapsed().as_secs_f64() * 1_000.0;
+    let fleet = profiler.time("fleet", || {
+        FleetStudy::quick().run().expect("the fleet study runs")
+    });
+    let fleet_wall_ms = profiler
+        .stage_ms("perf_report;fleet")
+        .expect("fleet stage timed");
     let fleet_cells = fleet.baseline().cells().len() + fleet.carbon_aware().cells().len();
 
     // The multi-year lifecycle path: a reduced two-year run of both
     // deployments (cloudlet cohorts with battery wear and failures, plus
     // the leased datacenter), timed end to end.
-    let lifecycle_start = Instant::now();
-    let lifecycle = LifecycleStudy::quick()
-        .years(2)
-        .run()
-        .expect("the lifecycle study runs");
-    let lifecycle_wall_ms = lifecycle_start.elapsed().as_secs_f64() * 1_000.0;
+    let lifecycle = profiler.time("lifecycle", || {
+        LifecycleStudy::quick()
+            .years(2)
+            .run()
+            .expect("the lifecycle study runs")
+    });
+    let lifecycle_wall_ms = profiler
+        .stage_ms("perf_report;lifecycle")
+        .expect("lifecycle stage timed");
     let lifecycle_cells = lifecycle.cloudlet().cells().len() + lifecycle.datacenter().cells().len();
 
     // The provisioning search: the quick planner study (enumerate,
     // screen, successive halving, local search), timed end to end so the
     // search layer's wall clock, evaluation count and cache hit rate are
     // tracked across PRs.
-    let planner_start = Instant::now();
-    let planner = PlannerStudy::quick().run().expect("the planner study runs");
-    let planner_wall_ms = planner_start.elapsed().as_secs_f64() * 1_000.0;
+    let planner = profiler.time("planner", || {
+        PlannerStudy::quick().run().expect("the planner study runs")
+    });
+    let planner_wall_ms = profiler
+        .stage_ms("perf_report;planner")
+        .expect("planner stage timed");
     let planner_outcome = planner.outcome();
     assert!(
         planner_outcome.cache_hit_rate() > 0.0,
@@ -174,13 +227,24 @@ fn main() {
             if i + 1 < scenarios.len() { "," } else { "" },
         );
     }
+    let mut utilisation_json = String::new();
+    for (i, u) in sweep_utilisation.iter().enumerate() {
+        if i > 0 {
+            utilisation_json.push_str(", ");
+        }
+        let _ = write!(utilisation_json, "{u:.4}");
+    }
     let _ = writeln!(
         json,
-        "  ],\n  \"sweep\": {{\"points\": {}, \"wall_ms_serial\": {:.3}, \
-         \"wall_ms_threaded\": {:.3}}},",
+        "  ],\n  \"sweep\": {{\"points\": {}, \"workers\": {}, \"wall_ms_serial\": {:.3}, \
+         \"wall_ms_threaded\": {:.3}, \"speedup\": {:.4}, \
+         \"worker_utilisation\": [{}]}},",
         sweep_points.len(),
+        sweep_workers,
         sweep_serial_ms,
         sweep_threaded_ms,
+        sweep_serial_ms / sweep_threaded_ms,
+        utilisation_json,
     );
     let _ = writeln!(
         json,
@@ -207,13 +271,13 @@ fn main() {
             .crossover_day()
             .map_or("null".to_owned(), |d| d.to_string()),
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  \"planner\": {{\"wall_ms\": {:.3}, \"candidates_enumerated\": {}, \
          \"screened_out\": {}, \"candidates_evaluated\": {}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \"frontier_size\": {}, \
          \"best_mg_per_request\": {:.6}, \"baseline_mg_per_request\": {:.6}, \
-         \"improvement_percent\": {:.4}}}\n}}\n",
+         \"improvement_percent\": {:.4}}},",
         planner_wall_ms,
         planner_outcome.candidates_enumerated(),
         planner_outcome.screened_out(),
@@ -236,7 +300,20 @@ fn main() {
         planner.improvement_percent(),
     );
 
+    profiler.stop();
+    let _ = json.write_str("  \"profile\": [\n");
+    let stages = profiler.stages();
+    for (i, (path, ms)) in stages.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"stage\": \"{path}\", \"wall_ms\": {ms:.3}}}{}",
+            if i + 1 < stages.len() { "," } else { "" },
+        );
+    }
+    let _ = json.write_str("  ]\n}\n");
+
     std::fs::write(&output, &json).expect("report file is writable");
+    std::fs::write(&folded_output, profiler.folded()).expect("folded file is writable");
 
     println!("Engine perf report (written to {output}):\n");
     println!(
@@ -256,10 +333,14 @@ fn main() {
         );
     }
     println!(
-        "\n  sweep ({} points): serial {:.1} ms, threaded {:.1} ms",
+        "\n  sweep ({} points, {} workers): serial {:.1} ms, threaded {:.1} ms ({:.2}x), \
+         worker event shares [{}]",
         sweep_points.len(),
+        sweep_workers,
         sweep_serial_ms,
-        sweep_threaded_ms
+        sweep_threaded_ms,
+        sweep_serial_ms / sweep_threaded_ms,
+        utilisation_json,
     );
     println!(
         "  fleet study ({} cells across both policies): {:.1} ms, \

@@ -1,0 +1,141 @@
+//! Traced lifecycle run: executes the quick resilience fleet (the
+//! correlated fault plan with retries, hedging to a datacenter standby
+//! and the degradation ladder — the richest run the stack expresses)
+//! with the sim-time recorder attached, writes the pinned-schema JSONL
+//! trace, and renders a per-window timeline of health, routing and the
+//! carbon ledger.
+//!
+//! The binary also *checks* the two core observability invariants on
+//! every run:
+//!
+//! * attaching the recorder changes nothing — the traced
+//!   `LifecycleResult` must equal the untraced one bit for bit;
+//! * the conservation ledger must close — a `ledger` event keyed
+//!   `"violation"` in the trace is a hard failure.
+//!
+//! Usage: `cargo run --release --bin trace [TRACE_lifecycle.jsonl]`
+//! (default output path: `TRACE_lifecycle.jsonl` in the working
+//! directory).
+
+use junkyard_core::resilience_study::ResilienceStudy;
+use junkyard_obs::{EventKind, EventSource, TraceEvent, TraceRecorder};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TRACE_lifecycle.jsonl".to_owned());
+
+    let study = ResilienceStudy::quick();
+    let sim = study.mitigated_fleet().expect("the quick fleet builds");
+
+    let mut recorder = TraceRecorder::new();
+    let traced = sim
+        .run_with(&mut recorder)
+        .expect("the traced run completes");
+    let plain = sim.run().expect("the untraced run completes");
+    assert_eq!(
+        plain, traced,
+        "attaching a recorder must not change the result"
+    );
+
+    let events: Vec<&TraceEvent> = recorder.events_in_order().map(|(_, e)| e).collect();
+    let violations = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Ledger && e.key == "violation")
+        .count();
+    assert_eq!(violations, 0, "the conservation ledger must close");
+
+    std::fs::write(&output, recorder.to_jsonl()).expect("trace file is writable");
+
+    // Per-window timeline: health from the result, transitions from the
+    // trace (every driver-side event carries its window as `w<N>` in the
+    // detail field).
+    let health = plain.window_health();
+    let window_s = plain.horizon_seconds() / health.len() as f64;
+    println!(
+        "Traced lifecycle run ({} windows, {} events, written to {output}):\n",
+        health.len(),
+        recorder.events(),
+    );
+    println!(
+        "  {:>6} {:>10} {:>10} {:>8} {:>8}  transitions",
+        "window", "offered", "served", "health", "faults"
+    );
+    for (w, window) in health.iter().enumerate() {
+        let tag = format!("w{w}");
+        let in_window =
+            |e: &&&TraceEvent| e.detail == tag || e.detail.starts_with(&format!("{tag} "));
+        let faults = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Fault)
+            .filter(in_window)
+            .count();
+        let mut transitions = String::new();
+        for kind in [
+            EventKind::Route,
+            EventKind::Retry,
+            EventKind::Hedge,
+            EventKind::Degrade,
+        ] {
+            let n = events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .filter(in_window)
+                .count();
+            if n > 0 {
+                if !transitions.is_empty() {
+                    transitions.push(' ');
+                }
+                transitions.push_str(&format!("{}:{n}", kind.name()));
+            }
+        }
+        println!(
+            "  {:>6} {:>10.0} {:>10.0} {:>7.1}% {:>8}  {}",
+            w,
+            window.offered(),
+            window.served(),
+            window.success_rate() * 100.0,
+            faults,
+            transitions,
+        );
+    }
+
+    println!("\n  carbon ledger (per day, gCO2e):");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "day", "operational", "embodied", "retry", "total"
+    );
+    for (day, entry) in plain.day_ledger().iter().enumerate() {
+        println!(
+            "  {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            day,
+            entry.operational().grams(),
+            entry.embodied().grams(),
+            entry.retry_carbon().grams(),
+            entry.carbon().grams(),
+        );
+    }
+
+    let counts = recorder.counts();
+    let mut summary = String::new();
+    for kind in junkyard_obs::EVENT_KINDS {
+        let n = counts[kind.index()];
+        if n > 0 {
+            if !summary.is_empty() {
+                summary.push_str(", ");
+            }
+            summary.push_str(&format!("{} {}", kind.name(), n));
+        }
+    }
+    let serial_events = recorder
+        .events_in_order()
+        .filter(|(source, _)| *source == EventSource::Serial)
+        .count();
+    println!("\n  event counts: {summary}");
+    println!(
+        "  {} events total ({serial_events} serial-side), {:.0} s simulated horizon, {:.0} s windows",
+        recorder.events(),
+        plain.horizon_seconds(),
+        window_s,
+    );
+}

@@ -252,6 +252,33 @@ impl ResilienceStudy {
         ResiliencePolicy::new().detection_lag_windows(self.detection_lag_windows)
     }
 
+    /// The fully mitigated fleet as a buildable simulation: the shared
+    /// fault plan, bounded retries hedged to a datacenter standby, and
+    /// the degradation ladder, all at once. The richest single run the
+    /// study can express — the `trace` binary executes it with a
+    /// recorder attached so every transition kind actually fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeploymentError`] if a site cannot be built.
+    pub fn mitigated_fleet(&self) -> Result<LifecycleSim, DeploymentError> {
+        self.build_fleet(
+            0,
+            true,
+            Some(self.fault_config()),
+            Some(
+                self.lagged_policy()
+                    .retry(RetryPolicy::new(self.max_retries).hedge_to_fallback())
+                    .fallback_site(2)
+                    .degradation(
+                        DegradationLadder::new()
+                            .shed_low_priority(self.low_priority_fraction)
+                            .brownout(self.brownout_stretch),
+                    ),
+            ),
+        )
+    }
+
     /// Runs every strategy against the identical fault plan.
     ///
     /// # Errors

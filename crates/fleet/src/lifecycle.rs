@@ -49,6 +49,7 @@ use junkyard_grid::trace::IntensityTrace;
 use junkyard_microsim::compiled::CompiledSim;
 use junkyard_microsim::sim::{Phase, SimError, Simulation, Workload};
 use junkyard_microsim::sweep::decorrelate_seed;
+use junkyard_obs::{ConservedLedger, EventKind, NoopRecorder, Recorder, TraceEvent};
 
 use crate::faults::{resolve_window, FaultConfig, FaultPlan, ResiliencePolicy, WindowResolution};
 use crate::routing::{plan_window_inputs, RoutingPolicy, SiteWindowInput, WindowAssignment};
@@ -1108,6 +1109,13 @@ impl LifecycleResult {
         }
     }
 
+    /// The simulated horizon in seconds (window count times window
+    /// duration).
+    #[must_use]
+    pub fn horizon_seconds(&self) -> f64 {
+        self.horizon_seconds
+    }
+
     /// The per-window serving health series (one entry per routing
     /// window; all-healthy on a fault-free run).
     #[must_use]
@@ -1584,6 +1592,26 @@ impl LifecycleSim {
     /// Propagates microsim errors; with multiple failures the
     /// lowest-index cell's error wins.
     pub fn run(&self) -> Result<LifecycleResult, SimError> {
+        self.run_with(&mut NoopRecorder)
+    }
+
+    /// [`LifecycleSim::run`] with lifecycle tracing: per-(window, site)
+    /// routing decisions, fault/retry/hedge/degradation transitions,
+    /// and the conservation ledger (per-window request identity,
+    /// per-day carbon identity) are recorded into `recorder`.
+    ///
+    /// Every hook fires on the **serial driver side**, from state the
+    /// plain run already computes — the (year, site) fan-out is
+    /// untouched and the returned [`LifecycleResult`] is bit-identical
+    /// to [`LifecycleSim::run`] for any recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates microsim errors; with multiple failures the
+    /// lowest-index cell's error wins. A violated conservation identity
+    /// is not an error here — it is recorded as a `ledger` event with
+    /// `"violation"` as its key, so the trace stays a faithful witness.
+    pub fn run_with<R: Recorder>(&self, recorder: &mut R) -> Result<LifecycleResult, SimError> {
         let days = self.config.total_days();
         let years_spanned = days.div_ceil(DAYS_PER_YEAR);
         let wpd = self.config.windows_per_day;
@@ -1663,6 +1691,26 @@ impl LifecycleSim {
                 .collect();
             plans.push(plan_window_inputs(self.policy, &inputs, window));
             intensities.push(window_intensities);
+            if recorder.enabled() {
+                let plan = &plans[w];
+                let t = window.start().seconds();
+                for (s, site) in self.sites.iter().enumerate() {
+                    let qps = plan.site_mean_qps(s);
+                    if qps > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Route, t, site.name(), qps)
+                                .with_detail(&format!("w{w}")),
+                        );
+                    }
+                }
+                let declined = plan.declined_mean_qps();
+                if declined > 0.0 {
+                    recorder.event(
+                        TraceEvent::new(EventKind::Route, t, "declined", declined)
+                            .with_detail(&format!("w{w}")),
+                    );
+                }
+            }
         }
 
         // Serial pass 3 (faulty runs only): resolve each window's serving
@@ -1695,6 +1743,52 @@ impl LifecycleSim {
             None
         };
         let resolutions = resolutions.as_deref();
+        if recorder.enabled() {
+            if let Some(res) = resolutions {
+                for window in &windows {
+                    let w = window.index();
+                    let t = window.start().seconds();
+                    for (s, site) in self.sites.iter().enumerate() {
+                        let avail = fault_plan.availability(w, s);
+                        if avail < 1.0 {
+                            recorder.event(
+                                TraceEvent::new(EventKind::Fault, t, site.name(), avail)
+                                    .with_detail(&format!("w{w}")),
+                            );
+                        }
+                    }
+                    let r = &res[w];
+                    if r.retried_ok_mean > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Retry, t, "retried-ok", r.retried_ok_mean)
+                                .with_detail(&format!("w{w}")),
+                        );
+                    }
+                    if r.hedged_mean > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Hedge, t, "hedged", r.hedged_mean)
+                                .with_detail(&format!("w{w}")),
+                        );
+                    }
+                    if r.rerouted_mean > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Route, t, "rerouted", r.rerouted_mean)
+                                .with_detail(&format!("w{w} reroute")),
+                        );
+                    }
+                    let degraded = r.brownout_mean + r.lp_shed_mean;
+                    if degraded > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Degrade, t, "degraded", degraded)
+                                .with_detail(&format!(
+                                    "w{w} brownout={} lp-shed={}",
+                                    r.brownout_mean, r.lp_shed_mean
+                                )),
+                        );
+                    }
+                }
+            }
+        }
         let retry_grams = self
             .resilience
             .as_ref()
@@ -1833,6 +1927,52 @@ impl LifecycleSim {
                     failed: 0.0,
                 });
             }
+        }
+
+        // The live conservation ledger: every window's request identity
+        // and every day's carbon identity re-checked at record time. A
+        // violation becomes a `ledger` event keyed `"violation"` — the
+        // trace witnesses the leak instead of silently absorbing it.
+        if recorder.enabled() {
+            let mut ledger = ConservedLedger::new();
+            for window in &windows {
+                let w = window.index();
+                let health = &window_health[w];
+                let declined = plans[w].declined_mean_qps() * window_s;
+                let shed = health.offered - health.served - health.failed;
+                if let Err(err) = ledger.record_requests(
+                    health.offered + declined,
+                    health.served,
+                    declined,
+                    0.0,
+                    shed,
+                    health.failed,
+                ) {
+                    recorder.event(
+                        TraceEvent::new(
+                            EventKind::Ledger,
+                            window.start().seconds(),
+                            "violation",
+                            health.offered,
+                        )
+                        .with_detail(&err.to_string()),
+                    );
+                }
+            }
+            for (day, entry) in day_ledger.iter().enumerate() {
+                let operational = entry.operational.grams();
+                let embodied = entry.embodied.grams();
+                let retry = entry.retry.grams();
+                let total = operational + embodied + retry;
+                let t = count_f64(day) * 24.0 * 3600.0;
+                if let Err(err) = ledger.record_carbon(total, operational, embodied, retry) {
+                    recorder.event(
+                        TraceEvent::new(EventKind::Ledger, t, "violation", total)
+                            .with_detail(&err.to_string()),
+                    );
+                }
+            }
+            recorder.event(ledger.snapshot(count_f64(windows.len()) * window_s));
         }
 
         Ok(LifecycleResult {

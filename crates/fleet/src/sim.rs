@@ -18,6 +18,7 @@ use junkyard_carbon::convert::{count_f64, floor_index, index_u64};
 use junkyard_carbon::units::{CarbonIntensity, GramsCo2e, Joules, Millis, Qps, TimeSpan};
 use junkyard_microsim::sim::{Phase, SimError, Workload};
 use junkyard_microsim::sweep::decorrelate_seed;
+use junkyard_obs::{EventKind, NoopRecorder, Recorder, TraceEvent};
 
 use crate::routing::{plan_window, RoutingPolicy, WindowAssignment};
 use crate::schedule::{DiurnalSchedule, LoadWindow};
@@ -479,8 +480,44 @@ impl FleetSim {
     /// the site's application does not define); with multiple failures the
     /// lowest-index cell's error wins.
     pub fn run(&self) -> Result<FleetResult, SimError> {
+        self.run_with(&mut NoopRecorder)
+    }
+
+    /// [`FleetSim::run`] with routing tracing: one `route` event per
+    /// (window, site) share the planner assigned traffic to, plus one
+    /// per window for declined load, recorded into `recorder` on the
+    /// serial side before the cell fan-out. The returned
+    /// [`FleetResult`] is bit-identical to [`FleetSim::run`] for any
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates microsim errors; with multiple failures the
+    /// lowest-index cell's error wins.
+    pub fn run_with<R: Recorder>(&self, recorder: &mut R) -> Result<FleetResult, SimError> {
         let windows = self.schedule.windows(self.config.windows_per_day);
         let assignments = self.assignments();
+        if recorder.enabled() {
+            for (w, assignment) in assignments.iter().enumerate() {
+                let t = windows[w].start().seconds();
+                for (s, site) in self.sites.iter().enumerate() {
+                    let qps = assignment.site_mean_qps(s);
+                    if qps > 0.0 {
+                        recorder.event(
+                            TraceEvent::new(EventKind::Route, t, site.name(), qps)
+                                .with_detail(&format!("w{w}")),
+                        );
+                    }
+                }
+                let declined = assignment.declined_mean_qps();
+                if declined > 0.0 {
+                    recorder.event(
+                        TraceEvent::new(EventKind::Route, t, "declined", declined)
+                            .with_detail(&format!("w{w}")),
+                    );
+                }
+            }
+        }
         let sites = self.sites.len();
         let n = windows.len() * sites;
         let workers = self

@@ -137,13 +137,19 @@ struct Impurity {
 }
 
 /// Scans the sig range of `file` for effects that break replay
-/// determinism. `bench` files are allowed wall clocks (that is the
-/// bench crate's whole job).
+/// determinism. `clock_sanctioned` files (the bench crate and the obs
+/// profiler module) are allowed wall clocks — that is their whole job.
+///
+/// The `recorder-in-fanout` facet is zero-tolerance everywhere: a
+/// spawn-reachable range must never touch the serial-side
+/// `TraceRecorder` (including its `.absorb(` merge). Workers record
+/// through per-slot `TraceShard`s minted before the fan-out, so the
+/// merged trace cannot depend on worker count or interleaving.
 fn impurities(
     file: &SourceFile,
     start: usize,
     end: usize,
-    bench: bool,
+    clock_sanctioned: bool,
     iteration_points: &[(usize, String)],
 ) -> Vec<Impurity> {
     let mut out = Vec::new();
@@ -153,10 +159,24 @@ fn impurities(
             continue;
         }
         let text = file.sig_text(i);
-        if !bench && (text == "Instant" || text == "SystemTime") {
+        if !clock_sanctioned && (text == "Instant" || text == "SystemTime") {
             out.push(Impurity {
                 line: file.sig_line(i),
                 what: format!("reads the wall clock (`{text}`)"),
+            });
+        }
+        if text == "TraceRecorder" {
+            out.push(Impurity {
+                line: file.sig_line(i),
+                what: "touches the serial-side `TraceRecorder` (workers must record through per-slot `TraceShard`s)"
+                    .to_string(),
+            });
+        }
+        if text == "absorb" && i > 0 && file.sig_text(i - 1) == "." {
+            out.push(Impurity {
+                line: file.sig_line(i),
+                what: "merges trace shards (`.absorb(`) — a serial-side, slot-ordered operation"
+                    .to_string(),
             });
         }
         if AMBIENT_RNG_IDENTS.contains(&text) {
@@ -184,13 +204,15 @@ fn impurities(
 }
 
 /// Runs the whole fan-out analysis: spawn roots → reachability →
-/// purity findings + per-file scopes. `bench[i]` marks bench files.
+/// purity findings + per-file scopes. `clock_sanctioned[i]` marks files
+/// allowed to read wall clocks (the bench crate and the obs profiler
+/// module).
 #[must_use]
 pub fn analyze(
     files: &[SourceFile],
     parsed: &[ParsedFile],
     symbols: &Symbols,
-    bench: &[bool],
+    clock_sanctioned: &[bool],
 ) -> Fanout {
     let sites = spawn_sites(files);
     // Per-file hash context, computed once.
@@ -247,7 +269,7 @@ pub fn analyze(
             file,
             site.range.0,
             site.range.1,
-            bench[site.file],
+            clock_sanctioned[site.file],
             &per_file_points[site.file],
         ) {
             findings.push(Finding {
@@ -267,7 +289,13 @@ pub fn analyze(
         let f = &parsed[r.0].fns[r.1];
         let Some((start, end)) = f.body else { continue };
         let file = &files[r.0];
-        let imps = impurities(file, start, end, bench[r.0], &per_file_points[r.0]);
+        let imps = impurities(
+            file,
+            start,
+            end,
+            clock_sanctioned[r.0],
+            &per_file_points[r.0],
+        );
         if imps.is_empty() {
             continue;
         }
@@ -322,8 +350,8 @@ mod tests {
             .collect();
         let parsed: Vec<ParsedFile> = files.iter().map(parse).collect();
         let symbols = Symbols::build(&parsed);
-        let bench = vec![false; files.len()];
-        let fanout = analyze(&files, &parsed, &symbols, &bench);
+        let clock_sanctioned = vec![false; files.len()];
+        let fanout = analyze(&files, &parsed, &symbols, &clock_sanctioned);
         (files, parsed, fanout)
     }
 
@@ -381,6 +409,37 @@ mod tests {
         assert!(fanout.findings.is_empty(), "{:?}", fanout.findings);
         // `work`'s body is in scope; `unrelated`'s is not.
         assert!(!fanout.scopes[0].is_empty());
+    }
+
+    #[test]
+    fn recorder_in_fanout_is_flagged_but_shards_are_not() {
+        let (_, _, fanout) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn bad(rec: &mut u64) {\n    std::thread::scope(|s| {\n        s.spawn(|| merge(rec));\n    });\n}\n\
+             fn merge(rec: &mut u64) { rec.absorb(7); }\n\
+             pub fn worse() {\n    std::thread::scope(|s| {\n        s.spawn(|| { let r = TraceRecorder::new(); drop(r); });\n    });\n}\n\
+             pub fn good(shard: &mut u64) {\n    std::thread::scope(|s| { s.spawn(|| { *shard += 1; }); });\n}\n",
+        )]);
+        // `merge` calls `.absorb(` from a reachable body; `worse` mints a
+        // `TraceRecorder` directly inside its spawn closure; the
+        // shard-style fan-out in `good` stays silent.
+        assert_eq!(fanout.findings.len(), 2, "{:?}", fanout.findings);
+        assert!(
+            fanout
+                .findings
+                .iter()
+                .any(|f| f.message.contains("TraceRecorder")),
+            "{:?}",
+            fanout.findings
+        );
+        assert!(
+            fanout
+                .findings
+                .iter()
+                .any(|f| f.message.contains("`merge`") && f.message.contains(".absorb(")),
+            "{:?}",
+            fanout.findings
+        );
     }
 
     #[test]

@@ -25,6 +25,10 @@ use crate::symbols::Symbols;
 pub struct Config {
     /// Path prefix exempt from `wall-clock-in-sim`.
     pub bench_prefix: String,
+    /// The one library file sanctioned to hold wall clocks: the
+    /// observability crate's profiler module, the serial-side boundary
+    /// every other wall-clock read must go through.
+    pub profiler_module: String,
     /// Accounting/carbon path prefixes audited by `unchecked-cast`.
     pub cast_prefixes: Vec<String>,
     /// Files that ARE the typed-quantity boundary (the newtype and
@@ -39,6 +43,7 @@ impl Config {
     pub fn junkyard() -> Self {
         Self {
             bench_prefix: "crates/bench/".to_string(),
+            profiler_module: "crates/obs/src/profiler.rs".to_string(),
             cast_prefixes: vec![
                 "crates/carbon/src/".to_string(),
                 "crates/fleet/src/".to_string(),
@@ -222,10 +227,12 @@ fn rel_path(root: &Path, path: &Path) -> String {
 /// Maps a relative path to its rule scopes.
 fn classify(rel: &str, config: &Config) -> (FileRole, bool) {
     let whole_file_test = rel.starts_with("tests/") || rel.ends_with("/testutil.rs");
+    let bench = rel.starts_with(&config.bench_prefix);
     let role = FileRole {
         library: rel.starts_with("src/")
             || (rel.starts_with("crates/") && rel.contains("/src/") && !rel.contains("/src/bin/")),
-        bench: rel.starts_with(&config.bench_prefix),
+        bench,
+        clock_sanctioned: bench || rel == config.profiler_module,
         cast_audited: config.cast_prefixes.iter().any(|p| rel.starts_with(p)),
         units_boundary: config.units_boundary.iter().any(|p| p == rel),
     };
@@ -263,11 +270,17 @@ pub fn analyze(root: &Path, config: &Config, baseline: &Baseline) -> Result<Anal
     // The semantic layer: parsed items, symbol table, call graph.
     let parsed: Vec<ParsedFile> = files.iter().map(parse).collect();
     let symbols = Symbols::build(&parsed);
-    let bench: Vec<bool> = files
+    // The callgraph's clock exemption must match `wall-clock-in-sim`'s:
+    // the profiler module's methods are wall-clock-sanctioned even when
+    // (mis)resolved as reachable from a fan-out, otherwise every
+    // `.start(`/`.time(` method call in sim code would drag
+    // `Profiler`'s `Instant`s into the spawn-reachable set by bare-name
+    // resolution.
+    let clock_sanctioned: Vec<bool> = files
         .iter()
-        .map(|f| classify(&f.rel_path, config).0.bench)
+        .map(|f| classify(&f.rel_path, config).0.clock_sanctioned)
         .collect();
-    let fanout = callgraph::analyze(&files, &parsed, &symbols, &bench);
+    let fanout = callgraph::analyze(&files, &parsed, &symbols, &clock_sanctioned);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut used: Vec<(String, u32, String)> = Vec::new(); // (path, line, rule) of used allows

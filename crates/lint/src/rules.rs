@@ -163,6 +163,11 @@ pub struct FileRole {
     pub library: bool,
     /// Under `crates/bench/` — exempt from `wall-clock-in-sim`.
     pub bench: bool,
+    /// Sanctioned to read wall clocks: `crates/bench/` or the
+    /// observability crate's profiler module (the serial-side profiling
+    /// boundary). Scope of `wall-clock-in-sim` and the callgraph's
+    /// clock-impurity facet.
+    pub clock_sanctioned: bool,
     /// On an accounting/carbon path — scope of `unchecked-cast`.
     pub cast_audited: bool,
     /// The typed-quantity boundary itself (`units.rs`, `convert.rs`) —
@@ -405,10 +410,11 @@ fn binding_of_hash_type(file: &SourceFile, i: usize) -> Option<String> {
 }
 
 /// Rule 2: `wall-clock-in-sim` — `Instant` / `SystemTime` anywhere
-/// outside `crates/bench` (tests included: simulated time is the only
-/// time).
+/// outside the sanctioned wall-clock sites: `crates/bench` and the
+/// observability crate's profiler module (tests included: simulated
+/// time is the only time).
 fn wall_clock_in_sim(file: &SourceFile, role: FileRole, out: &mut Vec<Finding>) {
-    if role.bench {
+    if role.clock_sanctioned {
         return;
     }
     for i in 0..file.sig.len() {
@@ -420,8 +426,8 @@ fn wall_clock_in_sim(file: &SourceFile, role: FileRole, out: &mut Vec<Finding>) 
                 RuleId::WallClockInSim,
                 file.sig_line(i),
                 format!(
-                    "`{text}` outside crates/bench: wall-clock reads break replayability; \
-                     simulated time must come from the event queue"
+                    "`{text}` outside crates/bench or the obs profiler: wall-clock reads break \
+                     replayability; simulated time must come from the event queue"
                 ),
             );
         }

@@ -65,16 +65,25 @@ fn every_rule_fires_and_every_suppression_suppresses() {
     // Rule 3: entropy-seeded RNG fires; test code stays quiet.
     assert_eq!(lines_of(&analysis, RuleId::AmbientRng), vec![(65, false)]);
 
-    // Rule 4 (call graph): both helpers are reachable from the spawn
-    // closure and impure; findings land on the `fn` lines. The allow
-    // over `stamped` suppresses it, `clocked` stays active. The equally
-    // impure `wall_elapsed` (line 56) is off-path and NOT flagged here.
+    // Rule 4 (call graph): all three helpers are reachable from the
+    // spawn closure and impure; findings land on the `fn` lines. The
+    // allow over `stamped` suppresses it, `clocked` stays active, and
+    // `merge_trace` (line 105) trips the zero-tolerance
+    // recorder-in-fanout facet twice over (mint + shard merge). The
+    // equally impure `wall_elapsed` (line 56) is off-path and NOT
+    // flagged here.
     let fanout = lines_of(&analysis, RuleId::FanoutPurity);
-    assert_eq!(fanout, vec![(34, false), (41, true)]);
+    assert_eq!(fanout, vec![(34, false), (41, true), (105, false)]);
     assert!(analysis.findings.iter().any(|f| {
         f.rule == RuleId::FanoutPurity
             && f.message.contains("fn `clocked`")
             && f.message.contains("wall clock")
+    }));
+    assert!(analysis.findings.iter().any(|f| {
+        f.rule == RuleId::FanoutPurity
+            && f.message.contains("fn `merge_trace`")
+            && f.message.contains("TraceRecorder")
+            && f.message.contains(".absorb(")
     }));
 
     // Rule 5 (dimension algebra): adding ms to secs fires on the `+`
@@ -132,8 +141,8 @@ fn every_rule_fires_and_every_suppression_suppresses() {
     assert_eq!(analysis.unused_suppressions[0].rule, "ambient-rng");
 
     // Test code fired nothing: every finding sits outside the
-    // `#[cfg(test)]` module (first line 103).
-    assert!(analysis.findings.iter().all(|f| f.line < 103));
+    // `#[cfg(test)]` module (first line 111).
+    assert!(analysis.findings.iter().all(|f| f.line < 111));
 }
 
 #[test]

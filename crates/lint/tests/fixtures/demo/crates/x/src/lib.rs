@@ -25,7 +25,7 @@ pub fn fan_out(jobs: &[u64]) -> u64 {
             // lint:allow(nondeterministic-iteration): lookup-only scratch map
             let lookup: HashMap<u64, u64> = HashMap::new();
             let _ = lookup.get(&0);
-            total = clocked(jobs) + stamped(jobs);
+            total = clocked(jobs) + stamped(jobs) + merge_trace(jobs);
         });
     });
     total
@@ -98,6 +98,14 @@ pub fn stale_allow() {}
 pub struct Totals {
     pub pinned_total: f64,
     pub forgotten_total: f64,
+}
+
+// Serial-side recorder dragged into the fan-out: the recorder-in-fanout
+// facet flags the `TraceRecorder` mint and the `.absorb(` shard merge.
+fn merge_trace(jobs: &[u64]) -> u64 {
+    let mut recorder = TraceRecorder::new();
+    recorder.absorb(jobs.len());
+    0
 }
 
 #[cfg(test)]

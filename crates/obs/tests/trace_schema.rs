@@ -1,0 +1,103 @@
+//! Schema-stability test for the `TRACE_*.jsonl` export: downstream
+//! tooling (the timeline renderer, CI artifact diffing, dashboards)
+//! parses the stream by field name and kind name, so the schema
+//! version, the header shape, the per-event field order, the summary
+//! shape, and the event-kind list itself are all pinned here. Renaming
+//! a kind or reordering a field must show up as a deliberate diff in
+//! this test, not as a silent breakage downstream.
+
+use junkyard_obs::{EventKind, Recorder, TraceEvent, TraceRecorder, EVENT_KINDS, TRACE_SCHEMA};
+
+/// Every event kind, in export order. Appending is fine (the header's
+/// `kinds` array tells readers what to expect); renaming or reordering
+/// is a schema break.
+const KINDS: [&str; 13] = [
+    "admit",
+    "drop",
+    "complete",
+    "route",
+    "fault",
+    "retry",
+    "hedge",
+    "degrade",
+    "rung",
+    "prune",
+    "cache-hit",
+    "cache-miss",
+    "ledger",
+];
+
+/// A two-shard, serial-plus-fanout trace exercising every line type.
+fn sample_trace() -> String {
+    let mut recorder = TraceRecorder::new();
+    recorder.event(TraceEvent::new(EventKind::Route, 0.5, "site-a", 120.0).with_detail("w0"));
+    let mut shard = recorder.shard(3);
+    shard.event(TraceEvent::new(EventKind::Admit, 1.25, "type0", 1.0));
+    shard.event(TraceEvent::new(EventKind::Drop, 2.0, "node1:q0", 1.0));
+    recorder.absorb(shard);
+    recorder.to_jsonl()
+}
+
+#[test]
+fn trace_schema_is_stable() {
+    let jsonl = sample_trace();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 3 events + summary");
+
+    // Line 1 — the header pins the schema version, the stream name and
+    // the full kind list, byte for byte.
+    let expected_header = format!(
+        "{{\"schema\":{TRACE_SCHEMA},\"stream\":\"junkyard_obs\",\"kinds\":[{}]}}",
+        KINDS
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    assert_eq!(lines[0], expected_header);
+    assert_eq!(TRACE_SCHEMA, 1);
+
+    // Event lines — fields in pinned order; serial events export
+    // `"slot":null`, shard events their slot index. Values use the
+    // shortest round-trip f64 form.
+    assert_eq!(
+        lines[1],
+        "{\"kind\":\"route\",\"t\":0.5,\"slot\":null,\"key\":\"site-a\",\"value\":120,\"detail\":\"w0\"}"
+    );
+    assert_eq!(
+        lines[2],
+        "{\"kind\":\"admit\",\"t\":1.25,\"slot\":3,\"key\":\"type0\",\"value\":1,\"detail\":\"\"}"
+    );
+    assert_eq!(
+        lines[3],
+        "{\"kind\":\"drop\",\"t\":2,\"slot\":3,\"key\":\"node1:q0\",\"value\":1,\"detail\":\"\"}"
+    );
+
+    // Summary line — event total plus one count per kind, in kind order.
+    let expected_summary = concat!(
+        "{\"summary\":true,\"events\":3,\"counts\":{",
+        "\"admit\":1,\"drop\":1,\"complete\":0,\"route\":1,\"fault\":0,",
+        "\"retry\":0,\"hedge\":0,\"degrade\":0,\"rung\":0,\"prune\":0,",
+        "\"cache-hit\":0,\"cache-miss\":0,\"ledger\":0}}"
+    );
+    assert_eq!(lines[4], expected_summary);
+}
+
+#[test]
+fn event_kind_list_is_pinned() {
+    // The in-code kind list and the pinned names agree, one to one, in
+    // order — `EventKind::index` positions double as the `counts`
+    // layout, so a reorder silently corrupts every summary downstream.
+    assert_eq!(EVENT_KINDS.len(), KINDS.len());
+    for (i, (kind, name)) in EVENT_KINDS.iter().zip(KINDS.iter()).enumerate() {
+        assert_eq!(kind.name(), *name, "kind {i} renamed or reordered");
+        assert_eq!(kind.index(), i, "kind {name} index drifted");
+    }
+}
+
+#[test]
+fn traces_with_identical_content_serialise_identically() {
+    // Byte-identity holds across recorder instances, not just within
+    // one: the export depends only on recorded content.
+    assert_eq!(sample_trace(), sample_trace());
+}

@@ -16,6 +16,7 @@ use std::thread;
 use serde::{Deserialize, Serialize};
 
 use junkyard_microsim::sweep::decorrelate_seed;
+use junkyard_obs::{EventKind, NoopRecorder, Recorder, TraceEvent};
 
 use crate::candidate::CandidateDeployment;
 use crate::evaluator::{EvalCache, EvalError, Evaluation, Evaluator, Fidelity};
@@ -421,6 +422,26 @@ pub fn search<E: Evaluator + ?Sized>(
     config: &SearchConfig,
     cache: &mut EvalCache,
 ) -> SearchOutcome {
+    search_with(space, evaluator, slo, config, cache, &mut NoopRecorder)
+}
+
+/// [`search`] with planner telemetry: pre-screen prune decisions (with
+/// the projected shed that condemned each candidate), rung entry
+/// populations and promotions, and per-batch cache hit/miss counts are
+/// recorded into `recorder`. All hooks fire on the serial composition
+/// side — the evaluation fan-out is untouched and the returned
+/// [`SearchOutcome`] is bit-identical to [`search`] for any recorder.
+/// The trace's time axis is the rung index (the search has no simulated
+/// clock of its own).
+#[must_use]
+pub fn search_with<E: Evaluator + ?Sized, R: Recorder>(
+    space: &PlannerSpace,
+    evaluator: &E,
+    slo: &Slo,
+    config: &SearchConfig,
+    cache: &mut EvalCache,
+    recorder: &mut R,
+) -> SearchOutcome {
     let workers = config.workers();
     let mut fresh_evaluations = 0u64;
     // The cache may arrive pre-warmed (the doc above invites reuse);
@@ -443,13 +464,27 @@ pub fn search<E: Evaluator + ?Sized>(
     let mut screened: Vec<CandidateDeployment> = Vec::with_capacity(population.len());
     let mut screened_out = 0usize;
     for candidate in population {
-        let undersized = !is_pinned(&candidate)
-            && evaluator
+        let projected_shed = if is_pinned(&candidate) {
+            None
+        } else {
+            evaluator
                 .sustainable_capacity_qps(&candidate, slo)
                 .and_then(|sustainable| evaluator.demand_shed_fraction(sustainable))
-                .is_some_and(|shed| shed > slo.max_shed_fraction() + 1e-9);
+        };
+        let undersized = projected_shed.is_some_and(|shed| shed > slo.max_shed_fraction() + 1e-9);
         if undersized {
             screened_out += 1;
+            if recorder.enabled() {
+                recorder.event(
+                    TraceEvent::new(
+                        EventKind::Prune,
+                        0.0,
+                        &format!("{:016x}", candidate.fingerprint()),
+                        projected_shed.unwrap_or(0.0),
+                    )
+                    .with_detail("screen: projected shed above the SLO ceiling"),
+                );
+            }
         } else {
             screened.push(candidate);
         }
@@ -472,6 +507,19 @@ pub fn search<E: Evaluator + ?Sized>(
     let mut final_results: Vec<Result<Evaluation, EvalError>> = Vec::new();
     for (rung_index, &fidelity) in config.rungs.iter().enumerate() {
         rung_populations.push(rung_pop.len());
+        if recorder.enabled() {
+            recorder.event(
+                TraceEvent::new(
+                    EventKind::Rung,
+                    rung_index as f64,
+                    &format!("rung{rung_index}"),
+                    rung_pop.len() as f64,
+                )
+                .with_detail("population at rung entry"),
+            );
+        }
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
         let results = evaluate_batch(
             cache,
             evaluator,
@@ -480,6 +528,10 @@ pub fn search<E: Evaluator + ?Sized>(
             workers,
             &mut fresh_evaluations,
         );
+        if recorder.enabled() {
+            recorder.count(EventKind::CacheHit, cache.hits() - hits_before);
+            recorder.count(EventKind::CacheMiss, cache.misses() - misses_before);
+        }
         if rung_index + 1 == config.rungs.len() {
             final_results = results;
             break;
@@ -509,6 +561,17 @@ pub fn search<E: Evaluator + ?Sized>(
             }
         }
         rung_pop = survivors;
+        if recorder.enabled() {
+            recorder.event(
+                TraceEvent::new(
+                    EventKind::Rung,
+                    rung_index as f64 + 0.5,
+                    &format!("rung{rung_index}->rung{}", rung_index + 1),
+                    rung_pop.len() as f64,
+                )
+                .with_detail("survivors promoted"),
+            );
+        }
         if rung_pop.is_empty() {
             break;
         }
@@ -567,6 +630,8 @@ pub fn search<E: Evaluator + ?Sized>(
                 batch.push(space.mutate(&elite_candidate, draw));
             }
         }
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
         let results = evaluate_batch(
             cache,
             evaluator,
@@ -575,6 +640,10 @@ pub fn search<E: Evaluator + ?Sized>(
             workers,
             &mut fresh_evaluations,
         );
+        if recorder.enabled() {
+            recorder.count(EventKind::CacheHit, cache.hits() - hits_before);
+            recorder.count(EventKind::CacheMiss, cache.misses() - misses_before);
+        }
         for (candidate, result) in batch.iter().zip(&results) {
             absorb(&mut scored, &mut seen, candidate, result);
         }

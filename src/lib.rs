@@ -23,6 +23,9 @@
 //!   deployments, driving the fleet/lifecycle stack as a black-box
 //!   evaluator and reporting a carbon/latency/fleet-size Pareto
 //!   frontier.
+//! * [`obs`] — the observability layer: deterministic sim-time tracing
+//!   (`Recorder`/`TraceRecorder` shards, the self-checking
+//!   `ConservedLedger`) and the wall-clock `Profiler` boundary.
 //! * [`core`] — the high-level studies that regenerate each table and
 //!   figure of the paper.
 //!
@@ -50,6 +53,7 @@ pub use junkyard_devices as devices;
 pub use junkyard_fleet as fleet;
 pub use junkyard_grid as grid;
 pub use junkyard_microsim as microsim;
+pub use junkyard_obs as obs;
 pub use junkyard_planner as planner;
 pub use junkyard_thermal as thermal;
 
